@@ -1,0 +1,65 @@
+"""Shared fixtures for the benchmark harness.
+
+The benchmarks regenerate every table and figure of the paper at laptop
+scale.  A single :class:`~repro.bench.context.ExperimentContext` is shared by
+all benchmark files so corpora and indexes are built once; rendered result
+tables are written to ``benchmarks/results/`` so they can be pasted into
+EXPERIMENTS.md.
+
+Scales can be raised with the ``REPRO_BENCH_SCALE`` environment variable
+(a float multiplier applied to corpus sizes; default 1.0).
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.bench.context import ExperimentContext
+from repro.bench.results import ExperimentResult
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+#: Baseline corpus sizes; multiplied by REPRO_BENCH_SCALE.
+BASE_SIZES = {
+    "fig2_counts": (1, 10, 100, 1_000),
+    "fig3_sentences": 1_000,
+    "index_sizes": (100, 400, 1_200),
+    "query_corpus": 1_200,
+    "scalability": (300, 600, 1_200, 2_400),
+}
+
+
+def _scale() -> float:
+    return float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+
+
+def scaled(value: int) -> int:
+    """Scale a corpus size by the REPRO_BENCH_SCALE multiplier."""
+    return max(1, int(value * _scale()))
+
+
+def scaled_tuple(values) -> tuple:
+    """Scale a tuple of corpus sizes."""
+    return tuple(scaled(value) for value in values)
+
+
+@pytest.fixture(scope="session")
+def context(tmp_path_factory) -> ExperimentContext:
+    """The shared experiment laboratory."""
+    workdir = tmp_path_factory.mktemp("repro-bench")
+    with ExperimentContext(workdir=str(workdir), seed=17) as ctx:
+        yield ctx
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    return RESULTS_DIR
+
+
+def save_result(results_dir: Path, result: ExperimentResult, filename: str) -> None:
+    """Write a rendered experiment table under benchmarks/results/."""
+    (results_dir / filename).write_text(result.to_text() + "\n", encoding="utf-8")

@@ -1,0 +1,41 @@
+"""Figure 11: average query runtime by number of matches, per coding and mss."""
+
+from __future__ import annotations
+
+from benchmarks.conftest import BASE_SIZES, save_result, scaled
+from repro.bench.experiments import figure11_runtime_by_matches
+from repro.workloads.binning import average
+
+
+def test_figure11_runtime_by_matches(benchmark, context, results_dir) -> None:
+    corpus_size = scaled(BASE_SIZES["query_corpus"])
+
+    result = benchmark.pedantic(
+        lambda: figure11_runtime_by_matches(
+            context, sentence_count=corpus_size, mss_values=(1, 2, 3)
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    save_result(results_dir, result, "figure11_runtime_by_matches.txt")
+
+    def mean_runtime(coding: str, mss: int) -> float:
+        rows = result.filtered(coding=coding, mss=mss)
+        return average([row[4] for row in rows])
+
+    # Paper shape 1: root-split beats subtree interval in all cases.
+    for mss in (1, 2, 3):
+        assert mean_runtime("root-split", mss) <= mean_runtime("subtree-interval", mss) * 1.15
+
+    # Paper shape 2: runtimes decrease as mss grows, for every coding.
+    for coding in ("filter", "root-split", "subtree-interval"):
+        assert mean_runtime(coding, 3) <= mean_runtime(coding, 1) * 1.15
+
+    # Paper shape 3: on the bins with many matches the filtering phase dominates
+    # filter-based coding, so root-split wins there at larger mss.
+    bins_present = [row[2] for row in result.filtered(coding="filter", mss=3)]
+    largest_bin = bins_present[-1]
+    filter_rows = result.filtered(coding="filter", mss=3, match_bin=largest_bin)
+    rs_rows = result.filtered(coding="root-split", mss=3, match_bin=largest_bin)
+    if filter_rows and rs_rows:
+        assert rs_rows[0][4] <= filter_rows[0][4] * 1.25

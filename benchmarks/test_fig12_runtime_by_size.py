@@ -1,0 +1,38 @@
+"""Figure 12: average query runtime by query size (queries with enough matches)."""
+
+from __future__ import annotations
+
+from benchmarks.conftest import BASE_SIZES, save_result, scaled
+from repro.bench.experiments import figure12_runtime_by_query_size
+from repro.workloads.binning import average
+
+
+def test_figure12_runtime_by_query_size(benchmark, context, results_dir) -> None:
+    corpus_size = scaled(BASE_SIZES["query_corpus"])
+
+    result = benchmark.pedantic(
+        lambda: figure12_runtime_by_query_size(
+            context, sentence_count=corpus_size, mss_values=(1, 2, 3), min_matches=10
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    save_result(results_dir, result, "figure12_runtime_by_size.txt")
+
+    # The workload contains small and larger queries with enough matches.
+    sizes_present = sorted({row[2] for row in result.rows})
+    assert sizes_present, "no query sizes survived the match threshold"
+    assert len(sizes_present) >= 3
+
+    # Paper shape: root-split stays at least competitive with subtree interval
+    # on the larger query sizes at mss >= 2.
+    large_sizes = [size for size in sizes_present if size >= max(sizes_present) - 2]
+    for mss in (2, 3):
+        rs = average(
+            [row[4] for row in result.filtered(coding="root-split", mss=mss) if row[2] in large_sizes]
+        )
+        si = average(
+            [row[4] for row in result.filtered(coding="subtree-interval", mss=mss) if row[2] in large_sizes]
+        )
+        if rs and si:
+            assert rs <= si * 1.5

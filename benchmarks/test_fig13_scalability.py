@@ -1,0 +1,35 @@
+"""Figure 13: average query runtime as the corpus size grows (mss = 3)."""
+
+from __future__ import annotations
+
+from benchmarks.conftest import BASE_SIZES, save_result, scaled_tuple
+from repro.bench.experiments import figure13_scalability
+
+
+def test_figure13_scalability(benchmark, context, results_dir) -> None:
+    sizes = scaled_tuple(BASE_SIZES["scalability"])
+
+    result = benchmark.pedantic(
+        lambda: figure13_scalability(context, sentence_counts=sizes),
+        rounds=1,
+        iterations=1,
+    )
+    save_result(results_dir, result, "figure13_scalability.txt")
+
+    def runtime(count: int, coding: str) -> float:
+        return result.filtered(sentences=count, coding=coding)[0][2]
+
+    smallest, largest = sizes[0], sizes[-1]
+    corpus_growth = largest / smallest
+
+    for coding in ("filter", "root-split", "subtree-interval"):
+        # Paper shape 1: runtime grows with the corpus size...
+        assert runtime(largest, coding) >= runtime(smallest, coding) * 0.8
+        # ...approximately linearly (allow generous slack at this small scale).
+        growth = runtime(largest, coding) / max(runtime(smallest, coding), 1e-9)
+        assert growth <= corpus_growth * 3
+
+    # Paper shape 2: root-split scales at least as well as the other codings.
+    rs_growth = runtime(largest, "root-split") / max(runtime(smallest, "root-split"), 1e-9)
+    filter_growth = runtime(largest, "filter") / max(runtime(smallest, "filter"), 1e-9)
+    assert rs_growth <= filter_growth * 1.5

@@ -1,0 +1,30 @@
+"""Figure 3: average number of extracted subtrees vs root branching factor."""
+
+from __future__ import annotations
+
+from benchmarks.conftest import BASE_SIZES, save_result, scaled
+from repro.bench.experiments import figure3_branching
+
+
+def test_figure3_branching(benchmark, context, results_dir) -> None:
+    sentences = scaled(BASE_SIZES["fig3_sentences"])
+
+    result = benchmark.pedantic(
+        lambda: figure3_branching(context, sentence_count=sentences),
+        rounds=1,
+        iterations=1,
+    )
+    save_result(results_dir, result, "figure3_branching.txt")
+
+    def avg(branching: int, size: int) -> float:
+        rows = result.filtered(branching_factor=branching, subtree_size=size)
+        return rows[0][2] if rows else 0.0
+
+    # Paper shape: nodes with higher branching factors root more subtrees on
+    # average, and the effect is stronger for larger subtree sizes.
+    present = sorted({row[0] for row in result.rows if row[0] >= 1})
+    low, high = present[0], present[-1]
+    assert high > low
+    for size in (3, 4, 5):
+        assert avg(high, size) >= avg(low, size)
+    assert avg(high, 5) >= avg(high, 2)

@@ -1,0 +1,37 @@
+"""Figure 8: index size for the three coding schemes."""
+
+from __future__ import annotations
+
+from benchmarks.conftest import BASE_SIZES, save_result, scaled_tuple
+from repro.bench.experiments import figure8_index_size
+
+
+def test_figure8_index_size(benchmark, context, results_dir) -> None:
+    sizes = scaled_tuple(BASE_SIZES["index_sizes"])
+
+    result = benchmark.pedantic(
+        lambda: figure8_index_size(context, sentence_counts=sizes),
+        rounds=1,
+        iterations=1,
+    )
+    save_result(results_dir, result, "figure8_index_size.txt")
+
+    def size_of(count: int, coding: str, mss: int) -> int:
+        return result.filtered(sentences=count, coding=coding, mss=mss)[0][3]
+
+    for count in sizes:
+        # Paper shape 1: filter-based is the smallest index, subtree interval the largest.
+        for mss in (2, 3, 4, 5):
+            assert size_of(count, "filter", mss) <= size_of(count, "root-split", mss)
+            assert size_of(count, "root-split", mss) <= size_of(count, "subtree-interval", mss)
+
+        # Paper shape 2: the gap between root-split and subtree interval widens with mss.
+        gap_small = size_of(count, "subtree-interval", 2) / size_of(count, "root-split", 2)
+        gap_large = size_of(count, "subtree-interval", 5) / size_of(count, "root-split", 5)
+        assert gap_large >= gap_small * 0.9
+
+    # Paper shape 3 (headline claim): root-split reduces the size of the interval
+    # coding index by 50-80% for larger subtree sizes.
+    largest = sizes[-1]
+    reduction = 1 - size_of(largest, "root-split", 5) / size_of(largest, "subtree-interval", 5)
+    assert reduction >= 0.4, f"root-split reduction was only {reduction:.0%}"

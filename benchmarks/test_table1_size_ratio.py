@@ -1,0 +1,27 @@
+"""Table 1: ratio of index size at mss=5 to the size at mss=1."""
+
+from __future__ import annotations
+
+from benchmarks.conftest import BASE_SIZES, save_result, scaled_tuple
+from repro.bench.experiments import figure8_index_size, table1_size_ratio
+
+
+def test_table1_size_ratio(benchmark, context, results_dir) -> None:
+    sizes = scaled_tuple(BASE_SIZES["index_sizes"])
+
+    def run():
+        figure8 = figure8_index_size(context, sentence_counts=sizes)
+        return table1_size_ratio(figure8)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    save_result(results_dir, result, "table1_size_ratio.txt")
+
+    def ratio(count: int, coding: str) -> float:
+        return result.filtered(sentences=count, coding=coding)[0][2]
+
+    for count in sizes:
+        # Paper shape: root-split shows the smallest growth when mss goes from 1
+        # to 5; subtree interval the largest (paper: ~12-15x vs ~48-59x).
+        assert ratio(count, "root-split") <= ratio(count, "filter") * 1.1
+        assert ratio(count, "root-split") < ratio(count, "subtree-interval")
+        assert ratio(count, "subtree-interval") / ratio(count, "root-split") >= 1.5

@@ -1,0 +1,43 @@
+"""Table 2: SI with root-split coding vs ATreeGrep and the frequency-based approach."""
+
+from __future__ import annotations
+
+from benchmarks.conftest import BASE_SIZES, save_result, scaled
+from repro.bench.experiments import table2_system_comparison
+from repro.workloads.binning import average
+
+
+def test_table2_system_comparison(benchmark, context, results_dir) -> None:
+    # Use the largest scalability corpus: the Table 2 gap is driven by
+    # validation costs that grow with the corpus size.
+    corpus_size = scaled(BASE_SIZES["scalability"][-1])
+
+    result = benchmark.pedantic(
+        lambda: table2_system_comparison(context, sentence_count=corpus_size),
+        rounds=1,
+        iterations=1,
+    )
+    save_result(results_dir, result, "table2_system_comparison.txt")
+
+    def avg_for(system: str) -> float:
+        return average([row[2] for row in result.rows if row[1] == system])
+
+    rs = avg_for("RS")
+    atreegrep = avg_for("ATG")
+    frequency = min(avg_for("FB(0.001)"), avg_for("FB(0.01)"), avg_for("FB(0.1)"))
+
+    # Paper shape: the subtree index with root-split coding beats both
+    # validation-based baselines on average.  The paper reports >= 10x per class
+    # at 100k-1M sentences with a compiled implementation; at this scale (and
+    # with per-posting costs inflated by pure Python) we assert the ordering and
+    # record the measured factors in EXPERIMENTS.md.
+    assert rs < atreegrep, f"RS {rs:.4f}s vs ATreeGrep {atreegrep:.4f}s"
+    assert rs < frequency, f"RS {rs:.4f}s vs frequency-based {frequency:.4f}s"
+
+    # Per-class: on the all-high-frequency class (the expensive one for
+    # validation-based engines, whose candidate sets approach the whole corpus)
+    # root-split clearly wins.
+    rs_h = [row[2] for row in result.filtered(**{"class": "H", "system": "RS"})]
+    atg_h = [row[2] for row in result.filtered(**{"class": "H", "system": "ATG"})]
+    if rs_h and atg_h:
+        assert rs_h[0] <= atg_h[0]

@@ -1,0 +1,30 @@
+"""Table 3: average number of joins per WH query group, minRC vs optimalCover."""
+
+from __future__ import annotations
+
+from benchmarks.conftest import save_result
+from repro.bench.experiments import table3_join_counts
+from repro.workloads.wh import WH_GROUPS
+
+
+def test_table3_join_counts(benchmark, results_dir) -> None:
+    result = benchmark.pedantic(table3_join_counts, rounds=1, iterations=1)
+    save_result(results_dir, result, "table3_join_counts.txt")
+
+    def joins(group: str, mss: int) -> tuple[float, float]:
+        row = result.filtered(group=group, mss=mss)[0]
+        return row[2], row[3]  # (root-split, subtree-interval)
+
+    for group in WH_GROUPS:
+        # Paper shape 1: optimalCover (subtree interval) never needs more joins
+        # than minRC (root-split).
+        for mss in (2, 3, 4, 5):
+            rs, si = joins(group, mss)
+            assert si <= rs + 1e-9
+
+        # Paper shape 2: the number of joins decreases as mss grows.
+        rs_series = [joins(group, mss)[0] for mss in (2, 3, 4, 5)]
+        si_series = [joins(group, mss)[1] for mss in (2, 3, 4, 5)]
+        assert rs_series[0] >= rs_series[-1]
+        assert si_series[0] >= si_series[-1]
+        assert all(value >= 0 for value in rs_series + si_series)

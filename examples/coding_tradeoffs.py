@@ -1,0 +1,87 @@
+#!/usr/bin/env python3
+"""Compare the three posting codings on one corpus: size, build time, query time.
+
+This example reproduces, at demo scale, the trade-off story of the paper's
+Section 6: the filter-based coding gives the smallest index but pays a
+filtering phase at query time; subtree-interval coding gives join-only
+evaluation but a much larger index; root-split coding keeps the index small
+*and* answers queries with root-only joins.
+
+Run it from the repository root::
+
+    python examples/coding_tradeoffs.py
+"""
+
+from __future__ import annotations
+
+import tempfile
+import time
+from pathlib import Path
+
+from repro import Corpus, CorpusGenerator, QueryExecutor, SubtreeIndex, parse_query
+
+CODINGS = ("filter", "root-split", "subtree-interval")
+MSS = 3
+
+QUERIES = [
+    "NP(DT)(NN)",
+    "VP(VBZ)(NP)",
+    "S(NP(DT)(NN))(VP)",
+    "S(NP)(VP(VBZ)(NP(DT)(NN)))",
+    "PP(IN)(NP(NN))",
+    "S(//NNS)",
+]
+
+
+def main() -> None:
+    corpus = Corpus(CorpusGenerator(seed=11).generate(1_500))
+    workdir = Path(tempfile.mkdtemp(prefix="repro-tradeoffs-"))
+    print(f"corpus: {len(corpus)} sentences, {corpus.total_nodes():,} nodes; mss = {MSS}\n")
+
+    # ------------------------------------------------------------------
+    # Build one index per coding and compare their footprints.
+    # ------------------------------------------------------------------
+    indexes = {}
+    print(f"{'coding':18s} {'keys':>10s} {'postings':>12s} {'size (KiB)':>12s} {'build (s)':>10s}")
+    for coding in CODINGS:
+        index = SubtreeIndex.build(corpus, mss=MSS, coding=coding, path=str(workdir / f"{coding}.si"))
+        indexes[coding] = index
+        print(
+            f"{coding:18s} {index.key_count:>10,} {index.posting_count:>12,} "
+            f"{index.size_bytes() / 1024:>12,.0f} {index.metadata.build_seconds:>10.2f}"
+        )
+    print()
+
+    # ------------------------------------------------------------------
+    # Compare query response times.
+    # ------------------------------------------------------------------
+    executors = {coding: QueryExecutor(index, store=corpus) for coding, index in indexes.items()}
+    header = f"{'query':34s}" + "".join(f"{coding:>20s}" for coding in CODINGS) + f"{'matches':>10s}"
+    print(header)
+    totals = {coding: 0.0 for coding in CODINGS}
+    for text in QUERIES:
+        query = parse_query(text)
+        row = f"{text:34s}"
+        matches = 0
+        for coding in CODINGS:
+            started = time.perf_counter()
+            result = executors[coding].execute(query)
+            elapsed = time.perf_counter() - started
+            totals[coding] += elapsed
+            matches = result.total_matches
+            row += f"{elapsed * 1000:>17.1f} ms"
+        row += f"{matches:>10d}"
+        print(row)
+    print()
+    print("total query time per coding:")
+    for coding in CODINGS:
+        print(f"  {coding:18s} {totals[coding] * 1000:8.1f} ms")
+
+    best = min(totals, key=totals.get)
+    print(f"\nfastest coding on this workload: {best}")
+    for index in indexes.values():
+        index.close()
+
+
+if __name__ == "__main__":
+    main()

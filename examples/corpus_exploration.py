@@ -1,0 +1,92 @@
+#!/usr/bin/env python3
+"""Explore the shape of a treebank through the index: grammar mining by key frequency.
+
+Beyond answering individual queries, a subtree index is a compact summary of
+the grammatical constructions of a corpus: every key is a construction and
+its posting-list length is the construction's document frequency.  This
+example builds an index over a synthetic treebank and uses the index alone
+(no re-scan of the corpus) to answer corpus-linguistics questions:
+
+* the most common productions (subtrees of size 2 and 3),
+* how often each constituent label appears in at least one sentence,
+* which verb-phrase shapes dominate the corpus, and
+* the corpus shape statistics the paper relies on (branching factors).
+
+Run it from the repository root::
+
+    python examples/corpus_exploration.py
+"""
+
+from __future__ import annotations
+
+import tempfile
+from collections import Counter
+from pathlib import Path
+
+from repro import Corpus, CorpusGenerator, SubtreeIndex
+from repro.core.keys import decode_key
+from repro.trees.stats import corpus_stats
+
+
+def main() -> None:
+    corpus = Corpus(CorpusGenerator(seed=29).generate(2_000))
+    workdir = Path(tempfile.mkdtemp(prefix="repro-explore-"))
+    index = SubtreeIndex.build(corpus, mss=3, coding="filter", path=str(workdir / "explore.si"))
+
+    print(f"corpus: {len(corpus)} sentences, {corpus.total_nodes():,} nodes")
+    print(f"index:  {index.key_count:,} unique constructions (subtrees of size 1-3)\n")
+
+    # ------------------------------------------------------------------
+    # Document frequency per key, straight from the posting lists.
+    # ------------------------------------------------------------------
+    frequency: Counter = Counter()
+    by_size: Counter = Counter()
+    for key_bytes, postings in index.items():
+        key = decode_key(key_bytes)
+        frequency[key_bytes] = len(postings)
+        by_size[key.size] += 1
+
+    print("unique constructions by size:")
+    for size in sorted(by_size):
+        print(f"  size {size}: {by_size[size]:,}")
+    print()
+
+    def top(predicate, count: int = 8):
+        ranked = [
+            (key_bytes, doc_freq)
+            for key_bytes, doc_freq in frequency.most_common()
+            if predicate(decode_key(key_bytes))
+        ]
+        return ranked[:count]
+
+    print("most common productions (size-2 constructions):")
+    for key_bytes, doc_freq in top(lambda key: key.size == 2):
+        print(f"  {key_bytes.decode():28s} in {doc_freq:5d} sentences")
+    print()
+
+    print("most common size-3 constructions:")
+    for key_bytes, doc_freq in top(lambda key: key.size == 3):
+        print(f"  {key_bytes.decode():28s} in {doc_freq:5d} sentences")
+    print()
+
+    print("dominant verb-phrase shapes:")
+    for key_bytes, doc_freq in top(lambda key: key.label == "VP" and key.size >= 2):
+        print(f"  {key_bytes.decode():28s} in {doc_freq:5d} sentences")
+    print()
+
+    # ------------------------------------------------------------------
+    # Shape statistics (Section 4.1 of the paper).
+    # ------------------------------------------------------------------
+    stats = corpus_stats(corpus)
+    print("corpus shape statistics (cf. Section 4.1 of the paper):")
+    print(f"  average internal branching factor : {stats.avg_branching_factor:.2f}")
+    print(f"  maximum branching factor          : {stats.max_branching}")
+    print(f"  nodes with branching factor > 10  : {stats.nodes_with_branching_above(10)}")
+    print(f"  average tree size                 : {stats.avg_tree_size:.1f} nodes")
+    print(f"  distinct labels                   : {stats.unique_labels}")
+
+    index.close()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,103 @@
+#!/usr/bin/env python3
+"""Question answering over parsed text, in the spirit of the paper's Figure 1.
+
+The paper motivates subtree indexing with the TREC question *"What kind of
+animal is agouti?"*: instead of keyword search, the user parses the statement
+form of the question ("agouti is a ...") and matches its parse tree against a
+corpus of parsed sentences; the node aligned with the answer slot is the
+answer candidate.
+
+This example reproduces that workflow end to end:
+
+1. a small corpus of parsed sentences is assembled (a few hand-written
+   definitional sentences, including the Figure 1 sentence, plus synthetic
+   background noise),
+2. a subtree index with root-split coding is built over it,
+3. the question is expressed as a structural query with the answer slot left
+   as an unconstrained noun, and
+4. for every match, the answer noun is extracted from the matching tree.
+
+Run it from the repository root::
+
+    python examples/question_answering.py
+"""
+
+from __future__ import annotations
+
+import tempfile
+from pathlib import Path
+
+from repro import Corpus, CorpusGenerator, ParseTree, QueryExecutor, SubtreeIndex, parse_penn, parse_query
+from repro.trees.matching import find_matches
+
+#: Hand-written definitional sentences (already parsed).  The first one is the
+#: matching sentence of Figure 1(b) in the paper.
+DEFINITIONAL_SENTENCES = [
+    "(ROOT (S (NP (DT The) (NNS agouti)) (VP (VBZ is) (NP (DT a) (JJ short-tailed) (, ,) "
+    "(JJ plant-eating) (NN rodent)))))",
+    "(ROOT (S (NP (DT The) (NN okapi)) (VP (VBZ is) (NP (DT a) (JJ forest-dwelling) (NN mammal)))))",
+    "(ROOT (S (NP (DT The) (NN quokka)) (VP (VBZ is) (NP (DT a) (JJ small) (NN marsupial)))))",
+    "(ROOT (S (NP (DT The) (NN aardvark)) (VP (VBZ is) (NP (DT a) (JJ nocturnal) (NN burrower)))))",
+    "(ROOT (S (NP (DT The) (NNS agouti)) (VP (VBZ lives) (PP (IN in) (NP (NN forest) (NNS habitats))))))",
+]
+
+#: Structural question templates: the question word is dropped, the statement
+#: skeleton is parsed, the answer slot is the bare NN under the object NP.
+QUESTIONS = {
+    "What kind of animal is the agouti?": "S(NP(NNS(agouti)))(VP(VBZ(is))(NP(DT)(NN)))",
+    "What kind of animal is the okapi?": "S(NP(NN(okapi)))(VP(VBZ(is))(NP(DT)(NN)))",
+    "What is the quokka?": "S(NP(NN(quokka)))(VP(VBZ(is))(NP(DT)(NN)))",
+}
+
+
+def build_corpus() -> Corpus:
+    """Definitional sentences mixed into a synthetic background corpus."""
+    corpus = Corpus(CorpusGenerator(seed=7).generate(500))
+    next_tid = len(corpus)
+    for offset, text in enumerate(DEFINITIONAL_SENTENCES):
+        corpus.add(ParseTree(parse_penn(text), tid=next_tid + offset))
+    return corpus
+
+
+def answer_from_match(tree: ParseTree, query_text: str) -> str:
+    """Extract the noun filling the answer slot of a matched sentence."""
+    query = parse_query(query_text)
+    for match_root in find_matches(query.root, tree):
+        # The answer slot is the NN child of the object NP (the last NP child
+        # of the VP in the template).
+        for vp in match_root.find_label("VP"):
+            for np in vp.find_label("NP"):
+                nouns = [leaf.label for nn in np.find_label("NN") for leaf in nn.leaves()]
+                if nouns:
+                    return nouns[-1]
+    return "(no answer found)"
+
+
+def main() -> None:
+    corpus = build_corpus()
+    workdir = Path(tempfile.mkdtemp(prefix="repro-qa-"))
+    index = SubtreeIndex.build(corpus, mss=3, coding="root-split", path=str(workdir / "qa.si"))
+    executor = QueryExecutor(index, store=corpus)
+
+    print(f"corpus: {len(corpus)} parsed sentences, index: {index.key_count:,} keys\n")
+
+    for question, template in QUESTIONS.items():
+        query = parse_query(template)
+        result = executor.execute(query)
+        print(f"Q: {question}")
+        print(f"   structural query: {template}")
+        print(f"   matched {result.total_matches} sentence(s) in {result.stats.elapsed_seconds * 1000:.1f} ms")
+        for tid in result.matched_tids:
+            tree = corpus.get(tid)
+            answer = answer_from_match(tree, template)
+            sentence = " ".join(tree.tokens())
+            print(f"   -> answer: {answer!r}   (from: \"{sentence}\")")
+        if not result.matches_per_tree:
+            print("   -> no matching sentence in the corpus")
+        print()
+
+    index.close()
+
+
+if __name__ == "__main__":
+    main()

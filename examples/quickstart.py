@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""Quickstart: build a subtree index and run a few tree queries.
+
+This walks through the full life cycle of the library on a small synthetic
+treebank:
+
+1. generate a corpus of syntactically annotated trees,
+2. build a subtree index with the paper's root-split coding,
+3. run structural queries through the query executor, and
+4. peek at the execution statistics (cover size, joins, postings fetched).
+
+Run it from the repository root::
+
+    python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+import tempfile
+from pathlib import Path
+
+from repro import Corpus, CorpusGenerator, QueryExecutor, SubtreeIndex, parse_query, to_penn
+
+
+def main() -> None:
+    # ------------------------------------------------------------------
+    # 1. A synthetic treebank (stands in for a parsed news corpus).
+    # ------------------------------------------------------------------
+    corpus = Corpus(CorpusGenerator(seed=42).generate(1_000))
+    print(f"corpus: {len(corpus)} sentences, {corpus.total_nodes():,} tree nodes")
+    print("first parse tree:")
+    print(to_penn(corpus[0].root, pretty=True))
+    print()
+
+    # ------------------------------------------------------------------
+    # 2. Build the subtree index (root-split coding, subtrees up to 3 nodes).
+    # ------------------------------------------------------------------
+    workdir = Path(tempfile.mkdtemp(prefix="repro-quickstart-"))
+    index = SubtreeIndex.build(corpus, mss=3, coding="root-split", path=str(workdir / "corpus.si"))
+    print(
+        f"index: mss={index.mss}, coding={index.coding.name}, "
+        f"{index.key_count:,} keys, {index.posting_count:,} postings, "
+        f"{index.size_bytes() / 1024:.0f} KiB on disk "
+        f"(built in {index.metadata.build_seconds:.2f}s)"
+    )
+    print()
+
+    # ------------------------------------------------------------------
+    # 3. Run structural queries.
+    # ------------------------------------------------------------------
+    executor = QueryExecutor(index, store=corpus)
+    for text in [
+        "NP(DT)(NN)",              # a determiner + noun noun phrase
+        "S(NP)(VP(VBZ)(NP))",      # subject-verb-object skeleton
+        "VP(VBZ)(NP(DT)(NN))",     # verb phrase with a full object NP
+        "S(//NN)",                 # any sentence containing a noun, at any depth
+    ]:
+        query = parse_query(text)
+        result = executor.execute(query)
+        stats = result.stats
+        print(
+            f"{text:28s} -> {result.total_matches:5d} matches in {len(result.matches_per_tree):4d} trees   "
+            f"(cover={stats.cover_size}, joins={stats.join_count}, "
+            f"postings={stats.postings_fetched:,}, {stats.elapsed_seconds * 1000:.1f} ms)"
+        )
+
+    # ------------------------------------------------------------------
+    # 4. Inspect one match.
+    # ------------------------------------------------------------------
+    query = parse_query("NP(DT)(JJ)(NN)")
+    result = executor.execute(query)
+    if result.matches_per_tree:
+        tid = result.matched_tids[0]
+        print()
+        print(f"one tree matching {query.to_string()} (tid {tid}):")
+        print(to_penn(corpus.get(tid).root, pretty=True))
+
+    index.close()
+
+
+if __name__ == "__main__":
+    main()

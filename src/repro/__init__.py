@@ -1,0 +1,65 @@
+"""repro -- subtree indexing and querying over syntactically annotated trees.
+
+A reproduction of Chubak & Rafiei, *"Efficient Indexing and Querying over
+Syntactically Annotated Trees"*, VLDB 2012.  The package provides:
+
+* a tree data model and Penn-bracket IO (:mod:`repro.trees`);
+* a deterministic synthetic treebank generator standing in for the parsed
+  AQUAINT corpus (:mod:`repro.corpus`);
+* a page-based storage engine with a disk B+Tree (:mod:`repro.storage`);
+* the subtree index with its three posting codings -- filter-based,
+  subtree-interval and the paper's root-split coding (:mod:`repro.core`,
+  :mod:`repro.coding`);
+* tree queries, the query language and the ``optimalCover`` / ``minRC``
+  decomposition algorithms (:mod:`repro.query`);
+* per-coding query executors built on structural merge joins
+  (:mod:`repro.exec`);
+* the baselines the paper compares against (:mod:`repro.baselines`);
+* the evaluation workloads and the experiment harness regenerating every
+  table and figure of the paper (:mod:`repro.workloads`, :mod:`repro.bench`).
+
+Quickstart
+----------
+>>> from repro import CorpusGenerator, Corpus, SubtreeIndex, QueryExecutor, parse_query
+>>> corpus = Corpus(CorpusGenerator(seed=1).generate(200))
+>>> index = SubtreeIndex.build(corpus, mss=3, coding="root-split", path="/tmp/demo.si")
+>>> executor = QueryExecutor(index, store=corpus)
+>>> result = executor.execute(parse_query("NP(DT)(NN)"))
+>>> result.total_matches > 0
+True
+"""
+
+from repro.coding import FilterBasedCoding, RootSplitCoding, SubtreeIntervalCoding, get_coding
+from repro.core import SubtreeIndex
+from repro.corpus import Corpus, CorpusGenerator, TreeStore, generate_corpus
+from repro.exec import QueryExecutor, QueryResult
+from repro.query import QueryTree, min_rc, optimal_cover, parse_query
+from repro.trees import Node, ParseTree, parse_penn, to_penn
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # Trees and corpora
+    "Node",
+    "ParseTree",
+    "parse_penn",
+    "to_penn",
+    "Corpus",
+    "TreeStore",
+    "CorpusGenerator",
+    "generate_corpus",
+    # Index and codings
+    "SubtreeIndex",
+    "get_coding",
+    "FilterBasedCoding",
+    "RootSplitCoding",
+    "SubtreeIntervalCoding",
+    # Queries and execution
+    "parse_query",
+    "QueryTree",
+    "optimal_cover",
+    "min_rc",
+    "QueryExecutor",
+    "QueryResult",
+]

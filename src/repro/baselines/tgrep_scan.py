@@ -1,0 +1,56 @@
+"""TGrep2 / CorpusSearch style full-scan query evaluation.
+
+Section 2 of the paper: "TGrep2 and CorpusSearch load the corpus in the main
+memory and scan the entire corpus to evaluate each query.  Thus, their
+querying performance degrades over larger corpora and they cannot scale."
+This baseline reproduces exactly that behaviour: the whole corpus is held in
+memory and every query visits every tree with the reference matcher.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Dict, Iterable, List
+
+from repro.corpus.store import Corpus
+from repro.exec.executor import ExecutionStats, QueryResult
+from repro.query.model import QueryTree
+from repro.trees.matching import count_matches
+from repro.trees.node import ParseTree
+
+
+@dataclass
+class TGrepScanner:
+    """An in-memory, scan-everything query engine."""
+
+    corpus: Corpus
+
+    @classmethod
+    def from_trees(cls, trees: Iterable[ParseTree]) -> "TGrepScanner":
+        """Build a scanner holding the given trees in memory."""
+        return cls(Corpus(trees))
+
+    # ------------------------------------------------------------------
+    def execute(self, query: QueryTree) -> QueryResult:
+        """Scan every tree of the corpus and count the query's matches."""
+        started = time.perf_counter()
+        matches: Dict[int, int] = {}
+        for tree in self.corpus:
+            count = count_matches(query.root, tree)
+            if count:
+                matches[tree.tid] = count
+        stats = ExecutionStats(
+            coding="tgrep-scan",
+            strategy="full-scan",
+            cover_size=1,
+            join_count=0,
+            postings_fetched=0,
+            candidates_filtered=len(self.corpus),
+            elapsed_seconds=time.perf_counter() - started,
+        )
+        return QueryResult(matches_per_tree=matches, stats=stats)
+
+    def execute_many(self, queries: Iterable[QueryTree]) -> List[QueryResult]:
+        """Evaluate several queries, scanning the corpus once per query."""
+        return [self.execute(query) for query in queries]

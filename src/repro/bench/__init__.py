@@ -1,0 +1,47 @@
+"""Experiment harness regenerating the paper's tables and figures.
+
+* :mod:`repro.bench.results` -- the generic tabular result container with a
+  plain-text renderer shared by all experiments.
+* :mod:`repro.bench.context` -- a small laboratory object that builds and
+  caches corpora, data files and indexes inside a working directory so the
+  individual experiments do not repeat expensive setup.
+* :mod:`repro.bench.experiments` -- one runner per table/figure of the
+  paper's Section 6 (Figures 2, 3, 8--13 and Tables 1--3), each returning an
+  :class:`~repro.bench.results.ExperimentResult`.
+
+Every runner accepts explicit scale parameters; the defaults are sized for a
+laptop-scale reproduction (the paper's largest runs use up to one million
+sentences -- see EXPERIMENTS.md for the scaling notes).
+"""
+
+from repro.bench.context import ExperimentContext
+from repro.bench.experiments import (
+    figure2_index_keys,
+    figure3_branching,
+    figure8_index_size,
+    figure9_posting_counts,
+    figure10_build_time,
+    figure11_runtime_by_matches,
+    figure12_runtime_by_query_size,
+    figure13_scalability,
+    table1_size_ratio,
+    table2_system_comparison,
+    table3_join_counts,
+)
+from repro.bench.results import ExperimentResult
+
+__all__ = [
+    "ExperimentContext",
+    "ExperimentResult",
+    "figure2_index_keys",
+    "figure3_branching",
+    "figure8_index_size",
+    "table1_size_ratio",
+    "figure9_posting_counts",
+    "figure10_build_time",
+    "figure11_runtime_by_matches",
+    "figure12_runtime_by_query_size",
+    "table2_system_comparison",
+    "figure13_scalability",
+    "table3_join_counts",
+]

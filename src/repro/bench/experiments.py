@@ -1,0 +1,343 @@
+"""Experiment runners, one per table and figure of the paper's Section 6.
+
+Every runner takes an :class:`~repro.bench.context.ExperimentContext` plus
+explicit scale parameters and returns an
+:class:`~repro.bench.results.ExperimentResult` whose rows correspond to the
+series / rows of the original figure or table.  The default scales are laptop
+sized; EXPERIMENTS.md records which scales were used for the committed
+numbers and how they compare to the paper's trends.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from repro.bench.context import ExperimentContext
+from repro.bench.results import ExperimentResult
+from repro.core.enumeration import subtree_count_by_root_branching
+from repro.core.stats import count_postings, count_unique_keys
+from repro.query.decompose import min_rc, optimal_cover
+from repro.query.model import QueryTree
+from repro.workloads.binning import MATCH_BINS, average, bin_for_match_count, group_by_query_size
+from repro.workloads.wh import WH_GROUPS, wh_queries_by_group
+
+#: The three coding schemes in the paper's display order.
+CODINGS = ("filter", "root-split", "subtree-interval")
+
+
+# ----------------------------------------------------------------------
+# Figure 2: number of unique subtrees (index keys) vs corpus size
+# ----------------------------------------------------------------------
+def figure2_index_keys(
+    context: ExperimentContext,
+    sentence_counts: Sequence[int] = (1, 10, 100, 1_000, 10_000),
+    mss_values: Sequence[int] = (1, 2, 3, 4, 5),
+) -> ExperimentResult:
+    """Count unique subtrees per ``mss`` for growing corpus sizes."""
+    result = ExperimentResult(
+        name="Figure 2",
+        description="Number of index keys (unique subtrees) as a function of the input size",
+        columns=["sentences", "mss", "unique_subtrees"],
+    )
+    for count in sentence_counts:
+        corpus = context.corpus(count)
+        keys = count_unique_keys(corpus, list(mss_values))
+        for mss in mss_values:
+            result.add_row(count, mss, keys[mss])
+    result.add_note("paper: near-linear growth with corpus size, parallel curves per mss")
+    return result
+
+
+# ----------------------------------------------------------------------
+# Figure 3: subtrees per node vs branching factor
+# ----------------------------------------------------------------------
+def figure3_branching(
+    context: ExperimentContext,
+    sentence_count: int = 1_500,
+    sizes: Sequence[int] = (2, 3, 4, 5),
+) -> ExperimentResult:
+    """Average number of extracted subtrees per node by root branching factor."""
+    result = ExperimentResult(
+        name="Figure 3",
+        description="Average number of subtrees per node in terms of the branching factor of the root",
+        columns=["branching_factor", "subtree_size", "avg_subtrees"],
+    )
+    corpus = context.corpus(sentence_count)
+    averages = subtree_count_by_root_branching(corpus, sizes=tuple(sizes))
+    for branching, per_size in sorted(averages.items()):
+        for size in sizes:
+            result.add_row(branching, size, per_size.get(size, 0.0))
+    result.add_note("paper: counts grow sharply with the branching factor, faster for larger sizes")
+    return result
+
+
+# ----------------------------------------------------------------------
+# Figures 8-10 and Table 1: index size, posting counts, construction time
+# ----------------------------------------------------------------------
+def figure8_index_size(
+    context: ExperimentContext,
+    sentence_counts: Sequence[int] = (100, 1_000, 5_000),
+    mss_values: Sequence[int] = (1, 2, 3, 4, 5),
+    codings: Sequence[str] = CODINGS,
+) -> ExperimentResult:
+    """Index size in bytes per coding scheme, corpus size and ``mss``."""
+    result = ExperimentResult(
+        name="Figure 8",
+        description="Subtree index size (bytes) for the three codings",
+        columns=["sentences", "coding", "mss", "size_bytes", "build_seconds"],
+    )
+    for count in sentence_counts:
+        for coding in codings:
+            for mss in mss_values:
+                index = context.subtree_index(count, coding, mss)
+                result.add_row(count, coding, mss, index.size_bytes(), index.metadata.build_seconds)
+    result.add_note("paper: filter-based < root-split << subtree interval; gap widens with mss")
+    return result
+
+
+def table1_size_ratio(figure8: ExperimentResult) -> ExperimentResult:
+    """Ratio of the index size at ``mss=5`` to the size at ``mss=1`` (Table 1)."""
+    result = ExperimentResult(
+        name="Table 1",
+        description="Ratio of the subtree index size when mss is 5 to the index size when mss is 1",
+        columns=["sentences", "coding", "ratio"],
+    )
+    mss_values = sorted({row[2] for row in figure8.rows})
+    low, high = mss_values[0], mss_values[-1]
+    for count in sorted({row[0] for row in figure8.rows}):
+        for coding in CODINGS:
+            small = figure8.filtered(sentences=count, coding=coding, mss=low)
+            large = figure8.filtered(sentences=count, coding=coding, mss=high)
+            if not small or not large:
+                continue
+            result.add_row(count, coding, large[0][3] / small[0][3])
+    result.add_note("paper: root-split shows the smallest growth ratio (12-15x), subtree interval the largest (~50x)")
+    return result
+
+
+def figure9_posting_counts(
+    context: ExperimentContext,
+    sentence_counts: Sequence[int] = (100, 1_000, 5_000),
+    mss_values: Sequence[int] = (1, 2, 3, 4, 5),
+    codings: Sequence[str] = CODINGS,
+) -> ExperimentResult:
+    """Total number of postings per coding scheme, corpus size and ``mss``."""
+    result = ExperimentResult(
+        name="Figure 9",
+        description="Total number of postings for the three codings",
+        columns=["sentences", "coding", "mss", "postings"],
+    )
+    for count in sentence_counts:
+        corpus = context.corpus(count)
+        for mss in mss_values:
+            totals = count_postings(corpus, mss, list(codings))
+            for coding in codings:
+                result.add_row(count, coding, mss, totals[coding])
+    result.add_note("paper: equal for mss=1 (root-split vs subtree interval); gap widens with mss")
+    return result
+
+
+def figure10_build_time(
+    context: ExperimentContext,
+    sentence_counts: Sequence[int] = (100, 1_000, 5_000),
+    mss_values: Sequence[int] = (1, 2, 3, 4, 5),
+    codings: Sequence[str] = CODINGS,
+) -> ExperimentResult:
+    """Index construction time per coding scheme, corpus size and ``mss``."""
+    result = ExperimentResult(
+        name="Figure 10",
+        description="Index construction time (seconds) for the three codings",
+        columns=["sentences", "coding", "mss", "build_seconds"],
+    )
+    for count in sentence_counts:
+        for coding in codings:
+            for mss in mss_values:
+                index = context.subtree_index(count, coding, mss)
+                result.add_row(count, coding, mss, index.metadata.build_seconds)
+    result.add_note("paper: filter-based ~ root-split < subtree interval; gap widens with mss")
+    return result
+
+
+# ----------------------------------------------------------------------
+# Figures 11-12: query runtime by number of matches and by query size
+# ----------------------------------------------------------------------
+def _run_workload(
+    context: ExperimentContext,
+    sentence_count: int,
+    coding: str,
+    mss: int,
+    queries: Iterable[QueryTree],
+    repeats: int = 1,
+) -> List[Tuple[QueryTree, int, float]]:
+    """Run queries against one index; returns (query, match count, avg seconds)."""
+    executor = context.executor(sentence_count, coding, mss)
+    measurements: List[Tuple[QueryTree, int, float]] = []
+    for query in queries:
+        elapsed: List[float] = []
+        matches = 0
+        for _ in range(repeats):
+            started = time.perf_counter()
+            result = executor.execute(query)
+            elapsed.append(time.perf_counter() - started)
+            matches = result.total_matches
+        measurements.append((query, matches, average(elapsed)))
+    return measurements
+
+
+def _workload_queries(context: ExperimentContext, sentence_count: int, max_fb_size: int = 10) -> List[QueryTree]:
+    """The combined WH + FB workload of Section 6.3.1."""
+    queries = [item.query for item in context.wh_queries()]
+    queries.extend(item.query for item in context.fb_queries(sentence_count, max_size=max_fb_size))
+    return queries
+
+
+def figure11_runtime_by_matches(
+    context: ExperimentContext,
+    sentence_count: int = 2_000,
+    mss_values: Sequence[int] = (1, 2, 3),
+    codings: Sequence[str] = CODINGS,
+    repeats: int = 1,
+) -> ExperimentResult:
+    """Average query runtime per match-count bin, coding and ``mss`` (Figure 11)."""
+    result = ExperimentResult(
+        name="Figure 11",
+        description="Average runtime of queries in terms of the number of matches",
+        columns=["coding", "mss", "match_bin", "queries", "avg_seconds"],
+    )
+    queries = _workload_queries(context, sentence_count)
+    for coding in codings:
+        for mss in mss_values:
+            measurements = _run_workload(context, sentence_count, coding, mss, queries, repeats)
+            binned: Dict[str, List[float]] = {label: [] for label, _, _ in MATCH_BINS}
+            for _, matches, seconds in measurements:
+                binned[bin_for_match_count(matches)].append(seconds)
+            for label, _, _ in MATCH_BINS:
+                times = binned[label]
+                if times:
+                    result.add_row(coding, mss, label, len(times), average(times))
+    result.add_note("paper: runtimes fall as mss grows; root-split fastest for mss >= 2")
+    return result
+
+
+def figure12_runtime_by_query_size(
+    context: ExperimentContext,
+    sentence_count: int = 2_000,
+    mss_values: Sequence[int] = (1, 2, 3),
+    codings: Sequence[str] = CODINGS,
+    min_matches: int = 10,
+    repeats: int = 1,
+) -> ExperimentResult:
+    """Average query runtime by query size for queries with enough matches (Figure 12)."""
+    result = ExperimentResult(
+        name="Figure 12",
+        description="Average runtime of queries in terms of the size of queries",
+        columns=["coding", "mss", "query_size", "queries", "avg_seconds"],
+    )
+    queries = _workload_queries(context, sentence_count)
+    for coding in codings:
+        for mss in mss_values:
+            measurements = _run_workload(context, sentence_count, coding, mss, queries, repeats)
+            entries = [(query.size(), matches, seconds) for query, matches, seconds in measurements]
+            for size, times in group_by_query_size(entries, min_matches=min_matches).items():
+                result.add_row(coding, mss, size, len(times), average(times))
+    result.add_note(
+        f"queries with fewer than {min_matches} matches are excluded "
+        "(the paper uses 100 at its much larger corpus scale)"
+    )
+    return result
+
+
+# ----------------------------------------------------------------------
+# Table 2: comparison with ATreeGrep and the frequency-based approach
+# ----------------------------------------------------------------------
+def table2_system_comparison(
+    context: ExperimentContext,
+    sentence_count: int = 2_000,
+    mss: int = 3,
+    cutoffs: Sequence[float] = (0.001, 0.01, 0.10),
+    repeats: int = 1,
+) -> ExperimentResult:
+    """Average FB-query runtime per frequency class for SI root-split vs baselines."""
+    result = ExperimentResult(
+        name="Table 2",
+        description=(
+            "Average runtime (seconds) of FB query classes: subtree index with root-split "
+            "coding (mss=3) vs ATreeGrep and frequency-based approaches"
+        ),
+        columns=["class", "system", "avg_seconds"],
+    )
+    fb = context.fb_queries(sentence_count)
+    executor = context.executor(sentence_count, "root-split", mss)
+    atreegrep = context.atreegrep(sentence_count)
+    frequency_indexes = {cutoff: context.frequency_based(sentence_count, cutoff, mss) for cutoff in cutoffs}
+
+    systems: List[Tuple[str, object]] = [("RS", executor), ("ATG", atreegrep)]
+    systems.extend((f"FB({cutoff:g})", frequency_indexes[cutoff]) for cutoff in cutoffs)
+
+    for frequency_class in fb.classes():
+        class_queries = [item.query for item in fb.by_class(frequency_class)]
+        for system_name, system in systems:
+            times: List[float] = []
+            for query in class_queries:
+                elapsed: List[float] = []
+                for _ in range(repeats):
+                    started = time.perf_counter()
+                    system.execute(query)  # type: ignore[attr-defined]
+                    elapsed.append(time.perf_counter() - started)
+                times.append(average(elapsed))
+            result.add_row(frequency_class, system_name, average(times))
+    result.add_note("paper: root-split is at least an order of magnitude faster across all classes")
+    return result
+
+
+# ----------------------------------------------------------------------
+# Figure 13: scalability with the corpus size
+# ----------------------------------------------------------------------
+def figure13_scalability(
+    context: ExperimentContext,
+    sentence_counts: Sequence[int] = (500, 1_000, 2_000, 4_000),
+    mss: int = 3,
+    codings: Sequence[str] = CODINGS,
+    repeats: int = 1,
+) -> ExperimentResult:
+    """Average FB-query runtime as the corpus grows (Figure 13; paper uses 1k..1M)."""
+    result = ExperimentResult(
+        name="Figure 13",
+        description="Average runtime of queries (mss=3) over growing corpus sizes",
+        columns=["sentences", "coding", "avg_seconds"],
+    )
+    # The same FB query set is evaluated at every corpus size, as in the paper.
+    queries = [item.query for item in context.fb_queries(sentence_counts[0])]
+    for count in sentence_counts:
+        for coding in codings:
+            measurements = _run_workload(context, count, coding, mss, queries, repeats)
+            result.add_row(count, coding, average([seconds for _, _, seconds in measurements]))
+    result.add_note("paper: near-linear growth; root-split has the smallest growth factor")
+    return result
+
+
+# ----------------------------------------------------------------------
+# Table 3: number of joins per decomposition algorithm
+# ----------------------------------------------------------------------
+def table3_join_counts(
+    mss_values: Sequence[int] = (2, 3, 4, 5),
+) -> ExperimentResult:
+    """Average number of joins per WH query group for minRC vs optimalCover (Table 3)."""
+    result = ExperimentResult(
+        name="Table 3",
+        description=(
+            "Average number of joins required over queries in the WH query set: "
+            "r = root-split (minRC), s = subtree interval (optimalCover)"
+        ),
+        columns=["group", "mss", "joins_root_split", "joins_subtree_interval"],
+    )
+    grouped = wh_queries_by_group()
+    for group in WH_GROUPS:
+        queries = [item.query for item in grouped[group]]
+        for mss in mss_values:
+            rs = average([float(len(min_rc(query, mss)) - 1) for query in queries])
+            si = average([float(len(optimal_cover(query, mss)) - 1) for query in queries])
+            result.add_row(group, mss, rs, si)
+    result.add_note("paper: optimalCover needs fewer joins; both decrease as mss grows")
+    return result

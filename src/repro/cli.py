@@ -1,0 +1,163 @@
+"""Command-line interface for the subtree index.
+
+Four subcommands cover the everyday workflow:
+
+``generate``
+    sample a synthetic treebank and write it as bracketed Penn lines;
+``build``
+    build a subtree index (and the data file) over a Penn corpus file;
+``query``
+    evaluate one or more queries against a built index;
+``stats``
+    print metadata and key statistics of a built index.
+
+Example session::
+
+    python -m repro.cli generate --sentences 1000 --out corpus.penn
+    python -m repro.cli build corpus.penn --mss 3 --coding root-split --out corpus.si
+    python -m repro.cli query corpus.si "NP(DT)(NN)" "S(NP)(VP(VBZ))"
+    python -m repro.cli stats corpus.si
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from repro.coding.base import coding_names
+from repro.core.index import SubtreeIndex
+from repro.corpus.generator import CorpusGenerator
+from repro.corpus.store import Corpus, TreeStore
+from repro.exec.executor import QueryExecutor
+from repro.query.parser import parse_query
+
+
+def _data_file_path(index_path: str) -> str:
+    """The data-file path conventionally stored next to an index."""
+    return index_path + ".data"
+
+
+# ----------------------------------------------------------------------
+# Subcommand implementations
+# ----------------------------------------------------------------------
+def cmd_generate(args: argparse.Namespace) -> int:
+    """Generate a synthetic corpus of parse trees."""
+    generator = CorpusGenerator(seed=args.seed)
+    corpus = Corpus(generator.generate(args.sentences))
+    corpus.save(args.out)
+    print(f"wrote {len(corpus)} parse trees ({corpus.total_nodes():,} nodes) to {args.out}")
+    return 0
+
+
+def cmd_build(args: argparse.Namespace) -> int:
+    """Build a subtree index over a Penn-bracket corpus file."""
+    corpus = Corpus.load(args.corpus)
+    index = SubtreeIndex.build(corpus, mss=args.mss, coding=args.coding, path=args.out)
+    TreeStore.build(_data_file_path(args.out), corpus).close()
+    print(
+        f"built {args.coding} index over {len(corpus)} trees: "
+        f"{index.key_count:,} keys, {index.posting_count:,} postings, "
+        f"{index.size_bytes():,} bytes, {index.metadata.build_seconds:.2f}s"
+    )
+    index.close()
+    return 0
+
+
+def cmd_query(args: argparse.Namespace) -> int:
+    """Run queries against a built index."""
+    index = SubtreeIndex.open(args.index)
+    store = TreeStore(_data_file_path(args.index))
+    executor = QueryExecutor(index, store=store)
+    status = 0
+    for text in args.queries:
+        try:
+            query = parse_query(text)
+        except ValueError as error:
+            print(f"error: cannot parse query {text!r}: {error}", file=sys.stderr)
+            status = 2
+            continue
+        result = executor.execute(query)
+        print(
+            f"{text}: {result.total_matches} matches in {len(result.matches_per_tree)} trees "
+            f"({result.stats.elapsed_seconds * 1000:.1f} ms, cover={result.stats.cover_size}, "
+            f"joins={result.stats.join_count})"
+        )
+        if args.show_tids:
+            print("  tids:", ", ".join(str(tid) for tid in result.matched_tids[: args.limit]))
+    store.close()
+    index.close()
+    return status
+
+
+def cmd_stats(args: argparse.Namespace) -> int:
+    """Print metadata and the largest posting lists of an index."""
+    index = SubtreeIndex.open(args.index)
+    meta = index.metadata
+    print(f"index file      : {args.index}")
+    print(f"coding          : {meta.coding}")
+    print(f"mss             : {meta.mss}")
+    print(f"trees indexed   : {meta.tree_count:,}")
+    print(f"unique keys     : {meta.key_count:,}")
+    print(f"total postings  : {meta.posting_count:,}")
+    print(f"size on disk    : {index.size_bytes():,} bytes")
+    print(f"build time      : {meta.build_seconds:.2f} s")
+    if args.top:
+        ranked = sorted(
+            ((len(postings), key) for key, postings in index.items()), reverse=True
+        )[: args.top]
+        print(f"top {args.top} keys by posting-list length:")
+        for length, key in ranked:
+            print(f"  {key.decode('utf-8'):40s} {length:,}")
+    index.close()
+    return 0
+
+
+# ----------------------------------------------------------------------
+# Argument parsing
+# ----------------------------------------------------------------------
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Subtree indexing and querying over syntactically annotated trees",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    generate = subparsers.add_parser("generate", help="generate a synthetic parsed corpus")
+    generate.add_argument("--sentences", type=int, default=1000, help="number of sentences")
+    generate.add_argument("--seed", type=int, default=0, help="random seed")
+    generate.add_argument("--out", required=True, help="output Penn-bracket file")
+    generate.set_defaults(func=cmd_generate)
+
+    build = subparsers.add_parser("build", help="build a subtree index over a corpus file")
+    build.add_argument("corpus", help="Penn-bracket corpus file (one tree per line)")
+    build.add_argument("--mss", type=int, default=3, help="maximum subtree size")
+    build.add_argument("--coding", choices=coding_names(), default="root-split")
+    build.add_argument("--out", required=True, help="output index file")
+    build.set_defaults(func=cmd_build)
+
+    query = subparsers.add_parser("query", help="evaluate queries against an index")
+    query.add_argument("index", help="index file built with the 'build' command")
+    query.add_argument("queries", nargs="+", help="queries, e.g. 'NP(DT)(NN)' or 'S//NN'")
+    query.add_argument("--show-tids", action="store_true", help="print matching tree ids")
+    query.add_argument("--limit", type=int, default=20, help="max tree ids to print")
+    query.set_defaults(func=cmd_query)
+
+    stats = subparsers.add_parser("stats", help="print statistics of a built index")
+    stats.add_argument("index", help="index file")
+    stats.add_argument("--top", type=int, default=0, help="show the N longest posting lists")
+    stats.set_defaults(func=cmd_stats)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via tests calling main()
+    raise SystemExit(main())

@@ -1,0 +1,109 @@
+"""Common interfaces of the posting coding schemes.
+
+The index builder extracts *occurrences* of subtrees from data trees
+(:class:`Occurrence`: the tree id plus the interval codes of the occurrence's
+nodes listed in the canonical order of the index key).  A coding scheme turns
+occurrences into postings, serialises posting lists for storage in the B+Tree
+and deserialises them again at query time.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple, Type
+
+from repro.trees.numbering import IntervalCode
+
+
+@dataclass(frozen=True)
+class Occurrence:
+    """One embedding of an index key (a unique subtree) in a data tree.
+
+    ``codes`` holds the interval codes of the occurrence's nodes in the
+    *canonical order* of the key, so ``codes[0]`` is always the subtree root
+    and position *i* corresponds to the same key node across all occurrences
+    of that key.
+    """
+
+    tid: int
+    codes: Tuple[IntervalCode, ...]
+
+    @property
+    def root(self) -> IntervalCode:
+        """Interval code of the occurrence's root node."""
+        return self.codes[0]
+
+    @property
+    def size(self) -> int:
+        """Number of nodes of the subtree."""
+        return len(self.codes)
+
+
+class CodingScheme(ABC):
+    """Strategy interface for the three coding schemes of Section 4.4."""
+
+    #: Short machine name used in file metadata and experiment reports.
+    name: str = "abstract"
+
+    # ------------------------------------------------------------------
+    @abstractmethod
+    def postings_from_occurrences(self, occurrences: Sequence[Occurrence]) -> List[object]:
+        """Convert raw occurrences of one key into this scheme's postings.
+
+        The returned list is deduplicated and sorted the way the scheme
+        stores postings on disk (ascending ``tid``, then structure).
+        """
+
+    @abstractmethod
+    def encode_postings(self, postings: Sequence[object]) -> bytes:
+        """Serialise a posting list for storage."""
+
+    @abstractmethod
+    def decode_postings(self, data: bytes) -> List[object]:
+        """Deserialise a posting list previously produced by :meth:`encode_postings`."""
+
+    # ------------------------------------------------------------------
+    def posting_count(self, occurrences: Sequence[Occurrence]) -> int:
+        """Number of postings this scheme stores for the given occurrences."""
+        return len(self.postings_from_occurrences(occurrences))
+
+    def tids_of(self, postings: Sequence[object]) -> List[int]:
+        """Sorted unique tree identifiers present in a posting list."""
+        seen: Dict[int, None] = {}
+        for posting in postings:
+            seen.setdefault(self._tid_of(posting))
+        return sorted(seen)
+
+    @staticmethod
+    def _tid_of(posting: object) -> int:
+        return posting.tid if hasattr(posting, "tid") else int(posting)  # type: ignore[arg-type]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"{type(self).__name__}()"
+
+
+_REGISTRY: Dict[str, Type[CodingScheme]] = {}
+
+
+def register_coding(cls: Type[CodingScheme]) -> Type[CodingScheme]:
+    """Class decorator adding a coding scheme to the global registry."""
+    _REGISTRY[cls.name] = cls
+    return cls
+
+
+def get_coding(name: str) -> CodingScheme:
+    """Instantiate a coding scheme by its registered name.
+
+    Valid names are ``"filter"``, ``"root-split"`` and ``"subtree-interval"``.
+    """
+    try:
+        return _REGISTRY[name]()
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY))
+        raise ValueError(f"unknown coding scheme {name!r} (known: {known})") from None
+
+
+def coding_names() -> List[str]:
+    """Names of all registered coding schemes."""
+    return sorted(_REGISTRY)

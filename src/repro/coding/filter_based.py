@@ -1,0 +1,41 @@
+"""Filter-based coding (Section 4.4.1).
+
+The minimal scheme: a posting is just a tree identifier, the posting list is
+a sorted list of unique tids (delta + varint compressed).  Query evaluation
+intersects the posting lists of the cover subtrees and then runs a filtering
+phase that fetches candidate trees from the data file and validates them with
+the exact matcher.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from repro.coding.base import CodingScheme, Occurrence, register_coding
+from repro.storage.codec import decode_delta_list, encode_delta_list
+
+
+@dataclass(frozen=True, order=True)
+class FilterPosting:
+    """A single filter-based posting: the containing tree's identifier."""
+
+    tid: int
+
+
+@register_coding
+class FilterBasedCoding(CodingScheme):
+    """Store only the sorted unique tree identifiers per key."""
+
+    name = "filter"
+
+    def postings_from_occurrences(self, occurrences: Sequence[Occurrence]) -> List[FilterPosting]:
+        tids = sorted({occurrence.tid for occurrence in occurrences})
+        return [FilterPosting(tid) for tid in tids]
+
+    def encode_postings(self, postings: Sequence[FilterPosting]) -> bytes:
+        return encode_delta_list([posting.tid for posting in postings])
+
+    def decode_postings(self, data: bytes) -> List[FilterPosting]:
+        tids, _ = decode_delta_list(data)
+        return [FilterPosting(tid) for tid in tids]

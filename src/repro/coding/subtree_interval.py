@@ -1,0 +1,106 @@
+"""Subtree interval coding (Section 4.4.2) -- the heavyweight baseline.
+
+A posting stores, for every node of the subtree occurrence, the
+``(pre, post, level, order)`` numbers.  Node codes are listed in the
+canonical order of the index key (so position *i* of every posting of a key
+corresponds to the same key node); ``order`` is the rank of the node within
+the occurrence by data-tree pre-order, which distinguishes symmetric
+instances that share the same (unordered) key.
+
+Every distinct embedding is a distinct posting, so posting lists are both
+longer and wider than for root-split coding -- the source of the index-size
+gap shown in Figures 8 and 9 of the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from repro.coding.base import CodingScheme, Occurrence, register_coding
+from repro.storage.codec import decode_varint, encode_varint
+from repro.trees.numbering import IntervalCode
+
+
+@dataclass(frozen=True, order=True)
+class NodeCode:
+    """The per-node structural record of a subtree-interval posting."""
+
+    pre: int
+    post: int
+    level: int
+    order: int
+
+    @property
+    def code(self) -> IntervalCode:
+        """The node's interval code without the order value."""
+        return IntervalCode(self.pre, self.post, self.level)
+
+
+@dataclass(frozen=True, order=True)
+class SubtreePosting:
+    """A subtree-interval posting: tree id plus one :class:`NodeCode` per node."""
+
+    tid: int
+    nodes: Tuple[NodeCode, ...]
+
+    @property
+    def size(self) -> int:
+        """Number of nodes of the indexed subtree (``m`` in the paper)."""
+        return len(self.nodes)
+
+    @property
+    def root(self) -> NodeCode:
+        """The code of the subtree root (canonical position 0)."""
+        return self.nodes[0]
+
+
+@register_coding
+class SubtreeIntervalCoding(CodingScheme):
+    """Store full ``(pre, post, level, order)`` records for every node."""
+
+    name = "subtree-interval"
+
+    def postings_from_occurrences(self, occurrences: Sequence[Occurrence]) -> List[SubtreePosting]:
+        postings = set()
+        for occurrence in occurrences:
+            pres = sorted(code.pre for code in occurrence.codes)
+            order_of = {pre: rank + 1 for rank, pre in enumerate(pres)}
+            nodes = tuple(
+                NodeCode(code.pre, code.post, code.level, order_of[code.pre])
+                for code in occurrence.codes
+            )
+            postings.add(SubtreePosting(occurrence.tid, nodes))
+        return sorted(postings)
+
+    def encode_postings(self, postings: Sequence[SubtreePosting]) -> bytes:
+        out = bytearray(encode_varint(len(postings)))
+        previous_tid = 0
+        for posting in postings:
+            out += encode_varint(posting.tid - previous_tid)
+            out += encode_varint(len(posting.nodes))
+            for node in posting.nodes:
+                out += encode_varint(node.pre)
+                out += encode_varint(node.post)
+                out += encode_varint(node.level)
+                out += encode_varint(node.order)
+            previous_tid = posting.tid
+        return bytes(out)
+
+    def decode_postings(self, data: bytes) -> List[SubtreePosting]:
+        count, offset = decode_varint(data, 0)
+        postings: List[SubtreePosting] = []
+        tid = 0
+        for _ in range(count):
+            gap, offset = decode_varint(data, offset)
+            tid += gap
+            node_count, offset = decode_varint(data, offset)
+            nodes: List[NodeCode] = []
+            for _ in range(node_count):
+                pre, offset = decode_varint(data, offset)
+                post, offset = decode_varint(data, offset)
+                level, offset = decode_varint(data, offset)
+                order, offset = decode_varint(data, offset)
+                nodes.append(NodeCode(pre, post, level, order))
+            postings.append(SubtreePosting(tid, tuple(nodes)))
+        return postings

@@ -1,0 +1,35 @@
+"""The paper's primary contribution: the Subtree Index (SI).
+
+* :mod:`repro.core.enumeration` -- extracting every connected subtree of
+  sizes ``1..mss`` rooted at each node of a data tree (Section 4.2,
+  Figure 4), together with the interval codes of their nodes.
+* :mod:`repro.core.keys` -- canonical (unordered) encoding of subtrees used
+  as index keys, and the reverse decoding.
+* :mod:`repro.core.index` -- building, opening and querying the disk-based
+  subtree index for any of the three coding schemes.
+* :mod:`repro.core.stats` -- index statistics (key counts, posting counts,
+  size on disk) backing the Figure 2/3/8/9/10 and Table 1 experiments.
+"""
+
+from repro.core.enumeration import (
+    enumerate_key_occurrences,
+    enumerate_subtrees,
+    subtree_count_by_root_branching,
+)
+from repro.core.index import IndexMetadata, SubtreeIndex
+from repro.core.keys import SubtreeKey, canonical_key, decode_key, key_from_query_subtree
+from repro.core.stats import IndexStats, collect_index_stats
+
+__all__ = [
+    "SubtreeIndex",
+    "IndexMetadata",
+    "SubtreeKey",
+    "canonical_key",
+    "decode_key",
+    "key_from_query_subtree",
+    "enumerate_subtrees",
+    "enumerate_key_occurrences",
+    "subtree_count_by_root_branching",
+    "IndexStats",
+    "collect_index_stats",
+]

@@ -1,0 +1,158 @@
+"""Enumerating the subtrees that become index keys (Section 4.2, Figure 4).
+
+For every node of a data tree, the builder extracts every *connected* subtree
+rooted at that node whose size is between 1 and ``mss`` (the maximum subtree
+size parameter of the index).  Each extracted subtree contributes one
+occurrence -- the tree id plus the interval codes of its nodes in canonical
+order -- to the posting list of its canonical key.
+
+The enumeration is bottom-up with per-node memoisation: the set of rooted
+subtrees of size at most ``mss`` is computed once per node from the sets of
+its children.  For parse trees this stays small because branching factors are
+small (Figure 3 of the paper; reproduced by the Figure 3 benchmark here).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, Iterable, Iterator, List, Sequence, Tuple
+
+from repro.coding.base import Occurrence
+from repro.core.keys import canonical_key
+from repro.trees.node import Node, ParseTree
+from repro.trees.numbering import IntervalCode, number_tree
+
+
+class _OccNode:
+    """A node of an *extracted* subtree, referencing the underlying data node."""
+
+    __slots__ = ("node", "children", "size")
+
+    def __init__(self, node: Node, children: Sequence["_OccNode"]):
+        self.node = node
+        self.children = list(children)
+        self.size = 1 + sum(child.size for child in children)
+
+    @property
+    def label(self) -> str:
+        """Label of the underlying data node (lets canonicalisation reuse one code path)."""
+        return self.node.label
+
+
+def _rooted_subtrees(node: Node, mss: int, cache: Dict[int, List[_OccNode]]) -> List[_OccNode]:
+    """All connected subtrees rooted at *node* with at most *mss* nodes."""
+    cached = cache.get(id(node))
+    if cached is not None:
+        return cached
+
+    child_options: List[List[_OccNode]] = [
+        _rooted_subtrees(child, mss - 1, cache) if mss > 1 else []
+        for child in node.children
+    ]
+
+    results: List[_OccNode] = []
+
+    def extend(child_index: int, remaining: int, chosen: List[_OccNode]) -> None:
+        if child_index == len(child_options):
+            results.append(_OccNode(node, list(chosen)))
+            return
+        # Option 1: skip this child entirely.
+        extend(child_index + 1, remaining, chosen)
+        # Option 2: include one of the subtrees rooted at this child.
+        if remaining > 0:
+            for candidate in child_options[child_index]:
+                if candidate.size <= remaining:
+                    chosen.append(candidate)
+                    extend(child_index + 1, remaining - candidate.size, chosen)
+                    chosen.pop()
+
+    extend(0, mss - 1, [])
+    cache[id(node)] = results
+    return results
+
+
+def _subtree_cache_for(tree: ParseTree | Node, mss: int) -> Tuple[Node, Dict[int, List[_OccNode]]]:
+    root = tree.root if isinstance(tree, ParseTree) else tree
+    cache: Dict[int, List[_OccNode]] = {}
+    # Populate bottom-up so recursion depth stays bounded by tree height.
+    for node in root.postorder():
+        _rooted_subtrees(node, mss, cache)
+    return root, cache
+
+
+def enumerate_subtrees(tree: ParseTree | Node, mss: int) -> Iterator[_OccNode]:
+    """Yield every extracted subtree (size 1..mss) of *tree* as an occurrence tree.
+
+    The memoisation cache stores, for each data node, subtrees of size at most
+    ``mss`` *as seen from that node*; the top-level enumeration simply walks
+    all nodes and emits their cached lists.
+    """
+    if mss < 1:
+        raise ValueError("mss must be at least 1")
+    root, cache = _subtree_cache_for(tree, mss)
+    for node in root.preorder():
+        yield from cache[id(node)]
+
+
+def enumerate_key_occurrences(
+    tree: ParseTree, mss: int
+) -> Iterator[Tuple[bytes, Occurrence]]:
+    """Yield ``(canonical key, occurrence)`` pairs for every extracted subtree.
+
+    The occurrence's node codes are listed in the canonical order of the key,
+    as required by the coding schemes (see :class:`repro.coding.base.Occurrence`).
+    """
+    codes = number_tree(tree)
+    for occ_root in enumerate_subtrees(tree, mss):
+        key, ordered = canonical_key(occ_root)
+        occurrence = Occurrence(
+            tid=tree.tid,
+            codes=tuple(codes[id(item.node)] for item in ordered),  # type: ignore[attr-defined]
+        )
+        yield key, occurrence
+
+
+def count_subtrees_per_node(tree: ParseTree | Node, sizes: Sequence[int]) -> Dict[int, Dict[int, int]]:
+    """For every node, count extracted subtrees of each size in *sizes*.
+
+    Returns ``{branching_factor: {size: total subtree count}}`` aggregated
+    over the nodes of *tree*; used by the Figure 3 experiment.
+    """
+    mss = max(sizes)
+    root, cache = _subtree_cache_for(tree, mss)
+    by_branching: Dict[int, Dict[int, int]] = defaultdict(lambda: defaultdict(int))
+    node_counts: Dict[int, int] = defaultdict(int)
+    for node in root.preorder():
+        counts = by_branching[node.degree]
+        node_counts[node.degree] += 1
+        for subtree in cache[id(node)]:
+            if subtree.size in sizes:
+                counts[subtree.size] += 1
+    return {degree: dict(counts) for degree, counts in by_branching.items()}
+
+
+def subtree_count_by_root_branching(
+    trees: Iterable[ParseTree], sizes: Sequence[int] = (2, 3, 4, 5)
+) -> Dict[int, Dict[int, float]]:
+    """Average number of extracted subtrees per node, keyed by branching factor.
+
+    Reproduces Figure 3: for each branching factor *b* and each subtree size
+    *ss* in *sizes*, the average number of subtrees of that size rooted at a
+    node with branching factor *b*.
+    """
+    totals: Dict[int, Dict[int, int]] = defaultdict(lambda: defaultdict(int))
+    node_counts: Dict[int, int] = defaultdict(int)
+    mss = max(sizes)
+    for tree in trees:
+        root, cache = _subtree_cache_for(tree, mss)
+        for node in root.preorder():
+            node_counts[node.degree] += 1
+            for subtree in cache[id(node)]:
+                if subtree.size in sizes:
+                    totals[node.degree][subtree.size] += 1
+    averages: Dict[int, Dict[int, float]] = {}
+    for degree, counts in totals.items():
+        averages[degree] = {
+            size: counts.get(size, 0) / node_counts[degree] for size in sizes
+        }
+    return dict(sorted(averages.items()))

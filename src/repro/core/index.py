@@ -1,0 +1,214 @@
+"""The Subtree Index (SI): building, opening and probing.
+
+An index is parameterised by the corpus, the maximum subtree size ``mss`` and
+a coding scheme.  Construction extracts every unique subtree of sizes
+``1..mss`` as a key (Section 4.2), accumulates the coding scheme's postings
+per key and bulk-loads the key/posting-list pairs into a disk B+Tree
+(Section 6.1).  Metadata (mss, coding, corpus size, counters) is stored under
+a reserved key inside the same file so an index is self-describing.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import asdict, dataclass
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from repro.coding.base import CodingScheme, get_coding
+from repro.core.enumeration import enumerate_key_occurrences
+from repro.core.keys import SubtreeKey, canonical_key, decode_key
+from repro.storage.bptree import BPlusTree
+from repro.trees.node import Node, ParseTree
+
+#: Reserved B+Tree key that stores the index metadata record.
+_META_KEY = b"\x00__si_meta__"
+
+
+@dataclass
+class IndexMetadata:
+    """Self-describing metadata stored inside every subtree index file."""
+
+    mss: int
+    coding: str
+    tree_count: int
+    key_count: int
+    posting_count: int
+    build_seconds: float
+
+    def to_json(self) -> bytes:
+        """Serialise the metadata record for storage."""
+        return json.dumps(asdict(self)).encode("utf-8")
+
+    @classmethod
+    def from_json(cls, data: bytes) -> "IndexMetadata":
+        """Parse a metadata record written by :meth:`to_json`."""
+        return cls(**json.loads(data.decode("utf-8")))
+
+
+class SubtreeIndex:
+    """A disk-resident subtree index over a corpus of parse trees."""
+
+    def __init__(self, tree: BPlusTree, coding: CodingScheme, metadata: IndexMetadata):
+        self._tree = tree
+        self.coding = coding
+        self.metadata = metadata
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def build(
+        cls,
+        trees: Iterable[ParseTree],
+        mss: int,
+        coding: CodingScheme | str,
+        path: str,
+    ) -> "SubtreeIndex":
+        """Build an index over *trees* at *path* and return it opened.
+
+        Subtrees of sizes ``1..mss`` are extracted from every tree; the
+        coding scheme converts each key's occurrences into postings; finally
+        all posting lists are bulk-loaded into the B+Tree in key order.
+        """
+        if isinstance(coding, str):
+            coding = get_coding(coding)
+        started = time.perf_counter()
+
+        posting_lists: Dict[bytes, List[object]] = {}
+        tree_count = 0
+        for tree in trees:
+            tree_count += 1
+            per_key: Dict[bytes, List] = {}
+            for key, occurrence in enumerate_key_occurrences(tree, mss):
+                per_key.setdefault(key, []).append(occurrence)
+            for key, occurrences in per_key.items():
+                postings = coding.postings_from_occurrences(occurrences)
+                posting_lists.setdefault(key, []).extend(postings)
+
+        posting_count = sum(len(postings) for postings in posting_lists.values())
+        metadata = IndexMetadata(
+            mss=mss,
+            coding=coding.name,
+            tree_count=tree_count,
+            key_count=len(posting_lists),
+            posting_count=posting_count,
+            build_seconds=0.0,
+        )
+
+        items: List[Tuple[bytes, bytes]] = [(_META_KEY, metadata.to_json())]
+        for key in sorted(posting_lists):
+            items.append((key, coding.encode_postings(posting_lists[key])))
+
+        btree = BPlusTree(path)
+        btree.bulk_load(items)
+        metadata.build_seconds = time.perf_counter() - started
+        # Re-write the metadata record with the final build time.
+        btree.insert(_META_KEY, metadata.to_json())
+        btree.flush()
+        return cls(btree, coding, metadata)
+
+    @classmethod
+    def open(cls, path: str) -> "SubtreeIndex":
+        """Open an existing index file."""
+        btree = BPlusTree(path)
+        raw = btree.get(_META_KEY)
+        if raw is None:
+            btree.close()
+            raise ValueError(f"{path!r} is not a subtree index (missing metadata)")
+        metadata = IndexMetadata.from_json(raw)
+        return cls(btree, get_coding(metadata.coding), metadata)
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _normalise_key(key: bytes | str | SubtreeKey | Node) -> bytes:
+        if isinstance(key, bytes):
+            return key
+        if isinstance(key, str):
+            return key.encode("utf-8")
+        if isinstance(key, SubtreeKey):
+            return key.encode()
+        if isinstance(key, Node):
+            encoded, _ = canonical_key(key)
+            return encoded
+        raise TypeError(f"unsupported key type {type(key).__name__}")
+
+    def lookup(self, key: bytes | str | SubtreeKey | Node) -> List[object]:
+        """Return the posting list of *key* (empty when the key is not indexed).
+
+        *key* may be canonical bytes, a canonical string, a parsed
+        :class:`SubtreeKey` or a :class:`~repro.trees.node.Node` subtree; the
+        latter two are canonicalised before the lookup.
+        """
+        raw = self._tree.get(self._normalise_key(key))
+        if raw is None:
+            return []
+        return self.coding.decode_postings(raw)
+
+    def has_key(self, key: bytes | str | SubtreeKey | Node) -> bool:
+        """``True`` when *key* is present in the index."""
+        return self._tree.get(self._normalise_key(key)) is not None
+
+    def posting_list_length(self, key: bytes | str | SubtreeKey | Node) -> int:
+        """Length of the posting list of *key* (0 when absent)."""
+        return len(self.lookup(key))
+
+    # ------------------------------------------------------------------
+    # Iteration and statistics
+    # ------------------------------------------------------------------
+    def keys(self) -> Iterator[SubtreeKey]:
+        """Yield all index keys as parsed :class:`SubtreeKey` objects."""
+        for key, _ in self._tree.items():
+            if key == _META_KEY:
+                continue
+            yield decode_key(key)
+
+    def items(self) -> Iterator[Tuple[bytes, List[object]]]:
+        """Yield ``(canonical key bytes, decoded posting list)`` pairs."""
+        for key, value in self._tree.items():
+            if key == _META_KEY:
+                continue
+            yield key, self.coding.decode_postings(value)
+
+    def raw_items(self) -> Iterator[Tuple[bytes, bytes]]:
+        """Yield ``(key bytes, encoded posting list)`` without decoding."""
+        for key, value in self._tree.items():
+            if key == _META_KEY:
+                continue
+            yield key, value
+
+    @property
+    def mss(self) -> int:
+        """Maximum subtree size the index was built with."""
+        return self.metadata.mss
+
+    @property
+    def key_count(self) -> int:
+        """Number of unique subtrees (index keys)."""
+        return self.metadata.key_count
+
+    @property
+    def posting_count(self) -> int:
+        """Total number of postings stored in the index."""
+        return self.metadata.posting_count
+
+    def size_bytes(self) -> int:
+        """Size of the index file on disk in bytes."""
+        return self._tree.size_bytes()
+
+    # ------------------------------------------------------------------
+    def flush(self) -> None:
+        """Flush the underlying B+Tree."""
+        self._tree.flush()
+
+    def close(self) -> None:
+        """Close the underlying B+Tree file."""
+        self._tree.close()
+
+    def __enter__(self) -> "SubtreeIndex":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

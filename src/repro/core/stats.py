@@ -1,0 +1,88 @@
+"""Index statistics backing the index-characterisation experiments.
+
+Figures 2, 3, 8, 9, 10 and Table 1 of the paper describe the *index itself*
+(number of unique keys, number of postings, bytes on disk, build time) rather
+than query behaviour.  This module computes those quantities either from a
+built :class:`~repro.core.index.SubtreeIndex` or directly from a corpus
+without materialising an index (used for the cheap key-count sweeps).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Sequence
+
+from repro.coding.base import CodingScheme, get_coding
+from repro.core.enumeration import enumerate_key_occurrences
+from repro.core.index import SubtreeIndex
+from repro.trees.node import ParseTree
+
+
+@dataclass
+class IndexStats:
+    """Summary statistics of one built index."""
+
+    mss: int
+    coding: str
+    tree_count: int
+    key_count: int
+    posting_count: int
+    size_bytes: int
+    build_seconds: float
+
+    @classmethod
+    def of(cls, index: SubtreeIndex) -> "IndexStats":
+        """Collect the statistics of a built index."""
+        meta = index.metadata
+        return cls(
+            mss=meta.mss,
+            coding=meta.coding,
+            tree_count=meta.tree_count,
+            key_count=meta.key_count,
+            posting_count=meta.posting_count,
+            size_bytes=index.size_bytes(),
+            build_seconds=meta.build_seconds,
+        )
+
+
+def collect_index_stats(index: SubtreeIndex) -> IndexStats:
+    """Convenience alias of :meth:`IndexStats.of`."""
+    return IndexStats.of(index)
+
+
+def count_unique_keys(trees: Iterable[ParseTree], mss_values: Sequence[int]) -> Dict[int, int]:
+    """Count unique subtrees (index keys) for several ``mss`` values at once.
+
+    This is the quantity plotted in Figure 2.  Keys are counted in a single
+    pass with the largest ``mss``: a key of size *s* is a key for every
+    ``mss >= s``, so the per-``mss`` counts are cumulative over key sizes.
+    """
+    max_mss = max(mss_values)
+    keys_by_size: Dict[int, set] = {size: set() for size in range(1, max_mss + 1)}
+    for tree in trees:
+        for key, occurrence in enumerate_key_occurrences(tree, max_mss):
+            keys_by_size[occurrence.size].add(key)
+    counts: Dict[int, int] = {}
+    for mss in mss_values:
+        counts[mss] = sum(len(keys_by_size[size]) for size in range(1, mss + 1))
+    return counts
+
+
+def count_postings(
+    trees: Iterable[ParseTree], mss: int, coding_names: Sequence[str]
+) -> Dict[str, int]:
+    """Total number of postings each coding scheme would store (Figure 9).
+
+    Computed without building the index files: occurrences are grouped per
+    key per tree and passed through each coding's deduplication logic.
+    """
+    codings: Dict[str, CodingScheme] = {name: get_coding(name) for name in coding_names}
+    totals: Dict[str, int] = {name: 0 for name in coding_names}
+    for tree in trees:
+        per_key: Dict[bytes, List] = {}
+        for key, occurrence in enumerate_key_occurrences(tree, mss):
+            per_key.setdefault(key, []).append(occurrence)
+        for occurrences in per_key.values():
+            for name, coding in codings.items():
+                totals[name] += coding.posting_count(occurrences)
+    return totals

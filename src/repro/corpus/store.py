@@ -1,0 +1,220 @@
+"""Corpus containers and the flat on-disk "data file".
+
+Section 6.1 of the paper: *"We also flattened and sequentially stored parse
+trees in a separate file, which we call the data file."*  The data file is
+what the filtering phase of the filter-based coding reads back to validate
+candidate trees, and its size is the yardstick the paper compares index sizes
+against.
+
+Two classes are provided:
+
+* :class:`Corpus` -- an in-memory, indexable collection of parse trees used by
+  generators, tests and small experiments.
+* :class:`TreeStore` -- an append-only binary file of flattened trees with an
+  in-memory ``tid -> offset`` table, supporting random access by tree id.
+"""
+
+from __future__ import annotations
+
+import io
+import os
+import struct
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence
+
+from repro.trees.node import ParseTree
+from repro.trees.penn import parse_penn, to_penn
+
+
+class Corpus:
+    """An in-memory corpus of parse trees addressable by tree id."""
+
+    def __init__(self, trees: Optional[Iterable[ParseTree]] = None):
+        self._trees: List[ParseTree] = []
+        self._by_tid: Dict[int, ParseTree] = {}
+        if trees:
+            for tree in trees:
+                self.add(tree)
+
+    # ------------------------------------------------------------------
+    def add(self, tree: ParseTree) -> None:
+        """Add a tree; assigns the next sequential tid when it has none."""
+        if tree.tid < 0:
+            tree.tid = len(self._trees)
+        if tree.tid in self._by_tid:
+            raise ValueError(f"duplicate tree id {tree.tid}")
+        self._trees.append(tree)
+        self._by_tid[tree.tid] = tree
+
+    def get(self, tid: int) -> ParseTree:
+        """Return the tree with identifier *tid*."""
+        try:
+            return self._by_tid[tid]
+        except KeyError:
+            raise KeyError(f"no tree with tid {tid}") from None
+
+    def __contains__(self, tid: int) -> bool:
+        return tid in self._by_tid
+
+    def __len__(self) -> int:
+        return len(self._trees)
+
+    def __iter__(self) -> Iterator[ParseTree]:
+        return iter(self._trees)
+
+    def __getitem__(self, index: int) -> ParseTree:
+        return self._trees[index]
+
+    def tids(self) -> List[int]:
+        """All tree identifiers in insertion order."""
+        return [tree.tid for tree in self._trees]
+
+    def total_nodes(self) -> int:
+        """Total number of nodes across all trees."""
+        return sum(tree.size() for tree in self._trees)
+
+    # ------------------------------------------------------------------
+    def to_penn_lines(self) -> Iterator[str]:
+        """Yield one bracketed line per tree (round-trips via ``from_penn_lines``)."""
+        for tree in self._trees:
+            yield to_penn(tree.root)
+
+    @classmethod
+    def from_penn_lines(cls, lines: Iterable[str]) -> "Corpus":
+        """Build a corpus from bracketed lines, assigning sequential tids."""
+        corpus = cls()
+        for line in lines:
+            stripped = line.strip()
+            if not stripped or stripped.startswith("#"):
+                continue
+            corpus.add(ParseTree(parse_penn(stripped), tid=len(corpus)))
+        return corpus
+
+    def save(self, path: str | os.PathLike) -> None:
+        """Write the corpus as a text file of bracketed lines."""
+        with open(path, "w", encoding="utf-8") as handle:
+            for line in self.to_penn_lines():
+                handle.write(line + "\n")
+
+    @classmethod
+    def load(cls, path: str | os.PathLike) -> "Corpus":
+        """Read a corpus previously written by :meth:`save`."""
+        with open(path, "r", encoding="utf-8") as handle:
+            return cls.from_penn_lines(handle)
+
+
+_HEADER = struct.Struct("<II")  # (tid, payload length)
+
+
+class TreeStore:
+    """Append-only binary data file of flattened parse trees.
+
+    Each record is ``<tid:uint32> <length:uint32> <utf-8 bracketed tree>``.
+    An in-memory offset table provides O(1) random access by tree id, which
+    is what the filtering phase needs: fetch candidate trees by tid and run
+    the exact matcher over them.
+    """
+
+    def __init__(self, path: str | os.PathLike):
+        self.path = os.fspath(path)
+        self._offsets: Dict[int, int] = {}
+        self._file: Optional[io.BufferedRandom] = None
+        if os.path.exists(self.path):
+            self._open()
+            self._build_offset_table()
+        else:
+            with open(self.path, "wb"):
+                pass
+            self._open()
+
+    # ------------------------------------------------------------------
+    def _open(self) -> None:
+        self._file = open(self.path, "r+b")
+
+    def _build_offset_table(self) -> None:
+        assert self._file is not None
+        self._offsets.clear()
+        self._file.seek(0)
+        while True:
+            offset = self._file.tell()
+            header = self._file.read(_HEADER.size)
+            if len(header) < _HEADER.size:
+                break
+            tid, length = _HEADER.unpack(header)
+            self._offsets[tid] = offset
+            self._file.seek(length, os.SEEK_CUR)
+
+    # ------------------------------------------------------------------
+    def append(self, tree: ParseTree) -> None:
+        """Append one tree to the data file."""
+        assert self._file is not None
+        payload = to_penn(tree.root).encode("utf-8")
+        self._file.seek(0, os.SEEK_END)
+        offset = self._file.tell()
+        self._file.write(_HEADER.pack(tree.tid, len(payload)))
+        self._file.write(payload)
+        self._offsets[tree.tid] = offset
+
+    def extend(self, trees: Iterable[ParseTree]) -> None:
+        """Append many trees."""
+        for tree in trees:
+            self.append(tree)
+
+    def get(self, tid: int) -> ParseTree:
+        """Fetch and re-parse the tree with identifier *tid*."""
+        assert self._file is not None
+        try:
+            offset = self._offsets[tid]
+        except KeyError:
+            raise KeyError(f"no tree with tid {tid}") from None
+        self._file.seek(offset)
+        header = self._file.read(_HEADER.size)
+        stored_tid, length = _HEADER.unpack(header)
+        payload = self._file.read(length).decode("utf-8")
+        return ParseTree(parse_penn(payload), tid=stored_tid)
+
+    def get_many(self, tids: Sequence[int]) -> List[ParseTree]:
+        """Fetch several trees; tids are looked up in sorted order to keep IO sequential."""
+        return [self.get(tid) for tid in sorted(tids)]
+
+    def __contains__(self, tid: int) -> bool:
+        return tid in self._offsets
+
+    def __len__(self) -> int:
+        return len(self._offsets)
+
+    def tids(self) -> List[int]:
+        """All stored tree identifiers in file order."""
+        return list(self._offsets)
+
+    def size_bytes(self) -> int:
+        """Current size of the data file in bytes."""
+        assert self._file is not None
+        self._file.flush()
+        return os.path.getsize(self.path)
+
+    def flush(self) -> None:
+        """Flush buffered writes to disk."""
+        if self._file is not None:
+            self._file.flush()
+
+    def close(self) -> None:
+        """Close the underlying file handle."""
+        if self._file is not None:
+            self._file.close()
+            self._file = None
+
+    def __enter__(self) -> "TreeStore":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    @classmethod
+    def build(cls, path: str | os.PathLike, trees: Iterable[ParseTree]) -> "TreeStore":
+        """Create a data file at *path* containing *trees*."""
+        if os.path.exists(path):
+            os.remove(path)
+        store = cls(path)
+        store.extend(trees)
+        store.flush()
+        return store

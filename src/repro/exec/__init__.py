@@ -1,0 +1,25 @@
+"""Query execution over the subtree index.
+
+* :mod:`repro.exec.joins` -- structural merge joins: the MPMGJN-style
+  tid-merge join used between cover-subtree posting lists, and plain sorted
+  tid-list intersection for the filter-based coding.
+* :mod:`repro.exec.plan` -- join planning: binding maps, join predicates
+  derived from the query and the cover, and a greedy connected join order.
+* :mod:`repro.exec.executor` -- the per-coding query executors, including the
+  filtering (post-validation) phase of the filter-based coding, plus the
+  result/statistics containers.
+"""
+
+from repro.exec.executor import ExecutionStats, QueryExecutor, QueryResult
+from repro.exec.joins import intersect_sorted_tid_lists, merge_join_bindings
+from repro.exec.plan import JoinPlan, build_plan
+
+__all__ = [
+    "QueryExecutor",
+    "QueryResult",
+    "ExecutionStats",
+    "JoinPlan",
+    "build_plan",
+    "merge_join_bindings",
+    "intersect_sorted_tid_lists",
+]

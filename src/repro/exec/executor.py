@@ -1,0 +1,260 @@
+"""Query executors for the three coding schemes.
+
+Query matching over a subtree index has two phases (Section 4.3): the
+*decomposition* phase picks a cover of the query and fetches the posting list
+of each cover subtree, and the *join* phase combines those lists.  What the
+join phase looks like depends on the coding scheme:
+
+filter-based
+    intersect the tid lists, then run the *filtering phase*: fetch every
+    candidate tree from the data file and validate it with the exact matcher.
+
+root-split
+    decompose with ``minRC`` (root-split covers), join the root codes of the
+    cover subtrees with equality / parent-child / ancestor-descendant
+    predicates.  No post-validation is needed.
+
+subtree-interval
+    decompose with ``optimalCover``; joins may reference any node stored in a
+    posting (all of them), again with no post-validation.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set
+
+from repro.coding.filter_based import FilterBasedCoding
+from repro.coding.root_split import RootSplitCoding
+from repro.coding.subtree_interval import SubtreeIntervalCoding, SubtreePosting
+from repro.core.index import SubtreeIndex
+from repro.corpus.store import Corpus, TreeStore
+from repro.exec.joins import (
+    BindingRow,
+    deduplicate_rows,
+    intersect_sorted_tid_lists,
+    merge_join_bindings,
+)
+from repro.exec.plan import JoinPlan, build_plan
+from repro.query.covers import Cover
+from repro.query.decompose import decompose
+from repro.query.model import QueryTree
+from repro.trees.matching import count_matches
+
+
+@dataclass
+class ExecutionStats:
+    """Counters describing how a query was evaluated."""
+
+    coding: str = ""
+    strategy: str = ""
+    cover_size: int = 0
+    join_count: int = 0
+    postings_fetched: int = 0
+    candidates_filtered: int = 0
+    elapsed_seconds: float = 0.0
+
+
+@dataclass
+class QueryResult:
+    """The outcome of evaluating one query."""
+
+    matches_per_tree: Dict[int, int] = field(default_factory=dict)
+    stats: ExecutionStats = field(default_factory=ExecutionStats)
+
+    @property
+    def total_matches(self) -> int:
+        """Total number of matches across all trees."""
+        return sum(self.matches_per_tree.values())
+
+    @property
+    def matched_tids(self) -> List[int]:
+        """Sorted tree identifiers with at least one match."""
+        return sorted(self.matches_per_tree)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, QueryResult):
+            return NotImplemented
+        return self.matches_per_tree == other.matches_per_tree
+
+
+class QueryExecutor:
+    """Evaluates tree queries against a :class:`~repro.core.index.SubtreeIndex`.
+
+    Parameters
+    ----------
+    index:
+        The subtree index to query.
+    store:
+        The corpus data file (or an in-memory :class:`~repro.corpus.store.Corpus`).
+        Required for the filter-based coding, whose filtering phase re-reads
+        candidate trees; optional otherwise.
+    strategy:
+        Cover strategy override; defaults to ``"min-rc"`` for root-split
+        coding and ``"optimal"`` for the other codings.
+    pad:
+        Whether decomposition pads cover subtrees towards ``mss`` (max-covers).
+    """
+
+    def __init__(
+        self,
+        index: SubtreeIndex,
+        store: Optional[TreeStore | Corpus] = None,
+        strategy: Optional[str] = None,
+        pad: bool = True,
+    ):
+        self.index = index
+        self.store = store
+        self.pad = pad
+        if strategy is not None:
+            self.strategy = strategy
+        elif isinstance(index.coding, RootSplitCoding):
+            self.strategy = "min-rc"
+        else:
+            self.strategy = "optimal"
+
+    # ------------------------------------------------------------------
+    def decompose(self, query: QueryTree) -> Cover:
+        """Compute the cover this executor would use for *query*."""
+        return decompose(query, self.index.mss, strategy=self.strategy, pad=self.pad)
+
+    def execute(self, query: QueryTree) -> QueryResult:
+        """Evaluate *query* and return its matches and execution statistics."""
+        started = time.perf_counter()
+        cover = self.decompose(query)
+        postings = [self.index.lookup(subtree.key_bytes()) for subtree in cover.subtrees]
+
+        stats = ExecutionStats(
+            coding=self.index.coding.name,
+            strategy=self.strategy,
+            cover_size=len(cover),
+            join_count=cover.join_count,
+            postings_fetched=sum(len(plist) for plist in postings),
+        )
+
+        coding = self.index.coding
+        if isinstance(coding, FilterBasedCoding):
+            result = self._execute_filter_based(query, cover, postings, stats)
+        elif isinstance(coding, (RootSplitCoding, SubtreeIntervalCoding)):
+            result = self._execute_structural(query, cover, postings, stats)
+        else:  # pragma: no cover - defensive
+            raise TypeError(f"unsupported coding scheme {type(coding).__name__}")
+
+        stats.elapsed_seconds = time.perf_counter() - started
+        result.stats = stats
+        return result
+
+    # ------------------------------------------------------------------
+    # Filter-based coding: intersection + filtering phase
+    # ------------------------------------------------------------------
+    def _fetch_tree(self, tid: int):
+        if self.store is None:
+            raise RuntimeError(
+                "filter-based execution needs a data file (TreeStore) or Corpus "
+                "to run its filtering phase; pass `store=` to QueryExecutor"
+            )
+        return self.store.get(tid)
+
+    def _execute_filter_based(
+        self,
+        query: QueryTree,
+        cover: Cover,
+        postings: Sequence[Sequence[object]],
+        stats: ExecutionStats,
+    ) -> QueryResult:
+        tid_lists = [[posting.tid for posting in plist] for plist in postings]
+        candidates = intersect_sorted_tid_lists(tid_lists)
+        stats.candidates_filtered = len(candidates)
+
+        matches: Dict[int, int] = {}
+        for tid in candidates:
+            tree = self._fetch_tree(tid)
+            count = count_matches(query.root, tree)
+            if count:
+                matches[tid] = count
+        return QueryResult(matches_per_tree=matches)
+
+    # ------------------------------------------------------------------
+    # Root-split and subtree-interval codings: structural joins
+    # ------------------------------------------------------------------
+    def _execute_structural(
+        self,
+        query: QueryTree,
+        cover: Cover,
+        postings: Sequence[Sequence[object]],
+        stats: ExecutionStats,
+    ) -> QueryResult:
+        if len(cover.subtrees) == 1:
+            # Single-subtree cover: the key already encodes the whole query, so
+            # the matches are simply the distinct roots of its postings.  This
+            # skips the binding/join machinery for the very common case of
+            # small queries at larger mss (and of single-label queries).
+            only = list(postings[0])
+            root_pre_of = (
+                (lambda posting: posting.root.pre)
+                if only and isinstance(only[0], SubtreePosting)
+                else (lambda posting: posting.pre)
+            )
+            per_tree: Dict[int, set] = {}
+            for posting in only:
+                per_tree.setdefault(posting.tid, set()).add(root_pre_of(posting))
+            return QueryResult(
+                matches_per_tree={tid: len(pres) for tid, pres in per_tree.items()}
+            )
+        plan = build_plan(query, cover, postings, self.index.coding)
+        rows = self._run_plan(plan)
+        return QueryResult(matches_per_tree=self._count_matches(query, rows))
+
+    @staticmethod
+    def _run_plan(plan: JoinPlan) -> List[BindingRow]:
+        """Execute the plan's left-deep join order and return the joined rows."""
+        if not plan.relations:
+            return []
+        if any(relation.cardinality == 0 for relation in plan.relations):
+            return []
+
+        order = plan.order or list(range(len(plan.relations)))
+        first = plan.relations[order[0]]
+        rows: List[BindingRow] = list(first.rows)
+        bound: Set[int] = set(first.bound_nodes)
+
+        for index in order[1:]:
+            relation = plan.relations[index]
+            predicates = plan.predicates_between(bound, relation.bound_nodes)
+
+            def compatible(left, right, _predicates=predicates) -> bool:
+                for predicate in _predicates:
+                    ancestor = left.get(predicate.ancestor_node) or right.get(predicate.ancestor_node)
+                    descendant = (
+                        right.get(predicate.descendant_node)
+                        if predicate.descendant_node in right
+                        else left.get(predicate.descendant_node)
+                    )
+                    if predicate.kind == "equal":
+                        ancestor = left.get(predicate.ancestor_node)
+                        descendant = right.get(predicate.descendant_node)
+                    if ancestor is None or descendant is None:
+                        continue
+                    if not predicate.holds(ancestor, descendant):
+                        return False
+                return True
+
+            rows = merge_join_bindings(rows, relation.rows, compatible)
+            if not rows:
+                return []
+            bound |= relation.bound_nodes
+            rows = deduplicate_rows(rows)
+        return rows
+
+    @staticmethod
+    def _count_matches(query: QueryTree, rows: Sequence[BindingRow]) -> Dict[int, int]:
+        """Count distinct query-root bindings per tree (the paper's match count)."""
+        root_id = query.root.node_id
+        per_tree: Dict[int, Set[int]] = {}
+        for tid, binding in rows:
+            code = binding.get(root_id)
+            if code is None:  # pragma: no cover - the query root is always bound
+                continue
+            per_tree.setdefault(tid, set()).add(code.pre)
+        return {tid: len(pres) for tid, pres in per_tree.items()}

@@ -1,0 +1,170 @@
+"""Structural merge joins over posting lists.
+
+The subtree index stores posting lists sorted by tree identifier, so every
+join in the system is a merge join on ``tid`` followed by the evaluation of
+structural predicates within each tree -- the shape of the
+Multi-Predicate MerGe JoiN (MPMGJN) the paper adopts off the shelf
+(Section 2).  Three entry points are provided:
+
+* :func:`intersect_sorted_tid_lists` -- k-way intersection of plain tid
+  lists (the whole join phase of the filter-based coding);
+* :func:`merge_join_bindings` -- merge join between two binding relations
+  (intermediate query results) under arbitrary structural predicates;
+* :func:`mpmg_join_codes` -- the classic node-level MPMGJN between two
+  ``(tid, IntervalCode)`` streams, used by the LPath-style node-index
+  baseline.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, Iterator, List, Sequence, Tuple
+
+from repro.trees.numbering import IntervalCode
+
+#: A binding maps query-node ids to the interval code bound for that node.
+Binding = Dict[int, IntervalCode]
+#: A binding row couples a tree id with a binding.
+BindingRow = Tuple[int, Binding]
+#: A predicate decides whether two bindings of the same tree are compatible.
+BindingPredicate = Callable[[Binding, Binding], bool]
+
+
+# ----------------------------------------------------------------------
+# Plain tid-list intersection (filter-based coding)
+# ----------------------------------------------------------------------
+def intersect_sorted_tid_lists(lists: Sequence[Sequence[int]]) -> List[int]:
+    """Intersect several ascending tid lists.
+
+    The shortest list drives the intersection; the others are probed with a
+    galloping merge.  Returns an ascending list of tids present in all lists.
+    """
+    if not lists:
+        return []
+    if any(len(single) == 0 for single in lists):
+        return []
+    ordered = sorted(lists, key=len)
+    result = list(ordered[0])
+    for other in ordered[1:]:
+        result = _intersect_two(result, other)
+        if not result:
+            return []
+    return result
+
+
+def _intersect_two(left: Sequence[int], right: Sequence[int]) -> List[int]:
+    out: List[int] = []
+    i = j = 0
+    while i < len(left) and j < len(right):
+        a, b = left[i], right[j]
+        if a == b:
+            out.append(a)
+            i += 1
+            j += 1
+        elif a < b:
+            i += 1
+        else:
+            j += 1
+    return out
+
+
+# ----------------------------------------------------------------------
+# Binding-relation merge join (root-split and subtree-interval codings)
+# ----------------------------------------------------------------------
+def group_rows_by_tid(rows: Iterable[BindingRow]) -> Iterator[Tuple[int, List[Binding]]]:
+    """Group an ascending-by-tid row stream into ``(tid, bindings)`` batches."""
+    current_tid: int | None = None
+    batch: List[Binding] = []
+    for tid, binding in rows:
+        if current_tid is None or tid != current_tid:
+            if current_tid is not None and batch:
+                yield current_tid, batch
+            current_tid = tid
+            batch = []
+        batch.append(binding)
+    if current_tid is not None and batch:
+        yield current_tid, batch
+
+
+def merge_join_bindings(
+    left: Sequence[BindingRow],
+    right: Sequence[BindingRow],
+    predicate: BindingPredicate,
+) -> List[BindingRow]:
+    """Merge join two binding relations sorted by tid.
+
+    For every tree id present on both sides, all binding pairs satisfying
+    *predicate* are merged into a single binding (right-hand values win ties,
+    but predicates are expected to enforce equality on shared nodes).
+    """
+    left_groups = list(group_rows_by_tid(left))
+    right_groups = list(group_rows_by_tid(right))
+    out: List[BindingRow] = []
+    i = j = 0
+    while i < len(left_groups) and j < len(right_groups):
+        left_tid, left_batch = left_groups[i]
+        right_tid, right_batch = right_groups[j]
+        if left_tid == right_tid:
+            for left_binding in left_batch:
+                for right_binding in right_batch:
+                    if predicate(left_binding, right_binding):
+                        merged = dict(left_binding)
+                        merged.update(right_binding)
+                        out.append((left_tid, merged))
+            i += 1
+            j += 1
+        elif left_tid < right_tid:
+            i += 1
+        else:
+            j += 1
+    return out
+
+
+def deduplicate_rows(rows: Sequence[BindingRow]) -> List[BindingRow]:
+    """Drop binding rows that bind exactly the same codes for the same tree."""
+    seen = set()
+    out: List[BindingRow] = []
+    for tid, binding in rows:
+        fingerprint = (tid, tuple(sorted((node, code.pre) for node, code in binding.items())))
+        if fingerprint in seen:
+            continue
+        seen.add(fingerprint)
+        out.append((tid, binding))
+    return out
+
+
+# ----------------------------------------------------------------------
+# Node-level MPMGJN (LPath-style baseline)
+# ----------------------------------------------------------------------
+CodeRow = Tuple[int, IntervalCode]
+
+
+def mpmg_join_codes(
+    ancestors: Sequence[CodeRow],
+    descendants: Sequence[CodeRow],
+    axis: str,
+) -> List[Tuple[int, IntervalCode, IntervalCode]]:
+    """Multi-predicate merge join between two node-code lists.
+
+    Both inputs must be sorted by ``(tid, pre)``.  Returns all
+    ``(tid, ancestor_code, descendant_code)`` triples where the ancestor
+    contains the descendant; with ``axis == '/'`` the containment is
+    restricted to direct parent-child (level difference of one).
+
+    This is the textbook MPMGJN of Zhang et al. that the paper's node-index
+    baseline (and our LPath-style baseline) is built on.
+    """
+    out: List[Tuple[int, IntervalCode, IntervalCode]] = []
+    parent_only = axis == "/"
+    i = 0
+    for tid, descendant in descendants:
+        # Advance the ancestor cursor past trees smaller than this one.
+        while i < len(ancestors) and ancestors[i][0] < tid:
+            i += 1
+        j = i
+        while j < len(ancestors) and ancestors[j][0] == tid and ancestors[j][1].pre < descendant.pre:
+            ancestor = ancestors[j][1]
+            if ancestor.is_ancestor_of(descendant):
+                if not parent_only or ancestor.level == descendant.level - 1:
+                    out.append((tid, ancestor, descendant))
+            j += 1
+    return out

@@ -1,0 +1,216 @@
+"""Covers of tree queries (Definitions 5--10 of the paper).
+
+A *cover* of a query is a set of subtrees of the query such that every query
+node appears in at least one subtree.  Cover subtrees contain only
+parent-child (``/``) edges -- index keys cannot express the ``//`` axis -- and
+their size is bounded by the index's ``mss`` parameter (a *valid* cover).
+The executor then joins the posting lists of the cover subtrees; which joins
+are possible depends on the coding scheme, which is why root-split coding
+needs the more constrained *root-split covers* of Definition 8.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.core.keys import canonical_key
+from repro.query.model import QueryNode, QueryTree
+from repro.trees.matching import AXIS_CHILD
+
+
+class _KeyNode:
+    """Induced-subtree node used to canonicalise a cover subtree into a key."""
+
+    __slots__ = ("label", "children", "query_node")
+
+    def __init__(self, query_node: QueryNode, children: Sequence["_KeyNode"]):
+        self.query_node = query_node
+        self.label = query_node.label
+        self.children = list(children)
+
+
+@dataclass(frozen=True)
+class CoverSubtree:
+    """One element of a cover: a connected, ``/``-only subtree of the query."""
+
+    root: QueryNode
+    node_ids: FrozenSet[int]
+
+    # ------------------------------------------------------------------
+    @property
+    def size(self) -> int:
+        """Number of query nodes in this cover subtree."""
+        return len(self.node_ids)
+
+    def contains(self, node: QueryNode) -> bool:
+        """``True`` when *node* belongs to this cover subtree."""
+        return node.node_id in self.node_ids
+
+    def _induced(self, node: QueryNode) -> _KeyNode:
+        children = [
+            self._induced(child)
+            for child, axis in zip(node.children, node.child_axes)
+            if child.node_id in self.node_ids and axis == AXIS_CHILD
+        ]
+        return _KeyNode(node, children)
+
+    def validate(self) -> None:
+        """Check connectivity and axis purity; raises ``ValueError`` if broken."""
+        reachable = {item.query_node.node_id for item in _preorder(self._induced(self.root))}
+        if reachable != set(self.node_ids):
+            missing = set(self.node_ids) - reachable
+            raise ValueError(
+                f"cover subtree rooted at {self.root.label!r} is not connected via '/' edges; "
+                f"unreachable node ids: {sorted(missing)}"
+            )
+
+    def key(self) -> Tuple[bytes, Dict[int, int]]:
+        """Canonical index key of this subtree and the node-id -> position map.
+
+        The position map tells the executor which slot of a subtree-interval
+        posting corresponds to which query node.
+        """
+        self.validate()
+        encoded, ordered = canonical_key(self._induced(self.root))
+        positions = {
+            item.query_node.node_id: position  # type: ignore[attr-defined]
+            for position, item in enumerate(ordered)
+        }
+        return encoded, positions
+
+    def key_bytes(self) -> bytes:
+        """Canonical index key of this subtree."""
+        return self.key()[0]
+
+    def query_nodes(self) -> List[QueryNode]:
+        """The query nodes of this subtree (root first, then pre-order)."""
+        return [item.query_node for item in _preorder(self._induced(self.root))]
+
+    def __str__(self) -> str:
+        return self.key_bytes().decode("utf-8")
+
+
+def _preorder(node: _KeyNode) -> Iterable[_KeyNode]:
+    yield node
+    for child in node.children:
+        yield from _preorder(child)
+
+
+@dataclass
+class Cover:
+    """A cover of a query: the query plus its list of cover subtrees."""
+
+    query: QueryTree
+    subtrees: List[CoverSubtree] = field(default_factory=list)
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.subtrees)
+
+    def __iter__(self):
+        return iter(self.subtrees)
+
+    @property
+    def join_count(self) -> int:
+        """Number of joins of a left-deep plan over this cover (|C| - 1)."""
+        return max(0, len(self.subtrees) - 1)
+
+    def covered_node_ids(self) -> Set[int]:
+        """Union of the node ids covered by the subtrees."""
+        covered: Set[int] = set()
+        for subtree in self.subtrees:
+            covered |= subtree.node_ids
+        return covered
+
+    def roots(self) -> List[QueryNode]:
+        """Roots of the cover subtrees (duplicates possible)."""
+        return [subtree.root for subtree in self.subtrees]
+
+    def subtrees_rooted_at(self, node: QueryNode) -> List[CoverSubtree]:
+        """Cover subtrees whose root is *node*."""
+        return [subtree for subtree in self.subtrees if subtree.root is node]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        rendered = ", ".join(str(subtree) for subtree in self.subtrees)
+        return f"Cover([{rendered}])"
+
+
+# ----------------------------------------------------------------------
+# Cover predicates (Definitions 5--10)
+# ----------------------------------------------------------------------
+def is_node_cover(cover: Cover) -> bool:
+    """Definition 5: every query node appears in at least one subtree."""
+    all_ids = {node.node_id for node in cover.query.nodes()}
+    return cover.covered_node_ids() == all_ids
+
+
+def is_valid_cover(cover: Cover, mss: int) -> bool:
+    """Definition 7: a node cover whose subtrees all have size at most ``mss``.
+
+    Additionally checks the structural well-formedness required by the index:
+    each subtree is connected through ``/`` edges.
+    """
+    if not is_node_cover(cover):
+        return False
+    for subtree in cover.subtrees:
+        if subtree.size > mss:
+            return False
+        try:
+            subtree.validate()
+        except ValueError:
+            return False
+    return True
+
+
+def is_root_split_cover(cover: Cover) -> bool:
+    """Definition 8: every subtree's root is related to another subtree's root.
+
+    Either the cover is a single subtree, or for every subtree ``ci`` there is
+    a ``cj`` whose root is the same node, the parent of ``ci``'s root, or a
+    child of ``ci``'s root.
+    """
+    if len(cover.subtrees) <= 1:
+        return True
+    root_ids = [subtree.root.node_id for subtree in cover.subtrees]
+    root_id_set = set(root_ids)
+    for subtree in cover.subtrees:
+        root = subtree.root
+        same = root_ids.count(root.node_id) > 1
+        parent_is_root = root.parent is not None and root.parent.node_id in root_id_set
+        child_is_root = any(child.node_id in root_id_set for child in root.children)
+        if not (same or parent_is_root or child_is_root):
+            return False
+    return True
+
+
+def has_deep_branching_anomaly(cover: Cover) -> bool:
+    """Definition 10: two subtrees share a non-root node that branches apart.
+
+    The anomaly makes root-only joins ambiguous (Figure 5); root-split covers
+    produced by ``minRC`` must avoid it.
+    """
+    subtrees = cover.subtrees
+    for i, si in enumerate(subtrees):
+        for sj in subtrees[i + 1:]:
+            shared = si.node_ids & sj.node_ids
+            for node_id in shared:
+                node = cover.query.node(node_id)
+                if node is si.root or node is sj.root:
+                    continue
+                in_si_only = any(
+                    child.node_id in si.node_ids and child.node_id not in sj.node_ids
+                    for child in node.children
+                )
+                in_sj_only = any(
+                    child.node_id in sj.node_ids and child.node_id not in si.node_ids
+                    for child in node.children
+                )
+                if in_si_only and in_sj_only:
+                    return True
+    return False
+
+
+def make_subtree(root: QueryNode, nodes: Iterable[QueryNode]) -> CoverSubtree:
+    """Build a :class:`CoverSubtree` from a root and an iterable of query nodes."""
+    return CoverSubtree(root=root, node_ids=frozenset(node.node_id for node in nodes))

@@ -1,0 +1,309 @@
+"""Query decomposition: ``optimalCover``, ``assign`` / FFD packing and ``minRC``.
+
+Section 5.2 of the paper gives two decomposition algorithms:
+
+``optimalCover``
+    produces a join-optimal cover (fewest subtrees).  Subtrees may share
+    internal nodes, so it is used with the filter-based and subtree-interval
+    codings whose joins can reference any stored node.
+
+``minRC``
+    produces the smallest *root-split* cover: every node is covered by a
+    subtree rooted at itself or at an ancestor that is also a cover-subtree
+    root, so all joins happen between subtree roots and the deep-branching
+    anomaly (Definition 10, Figure 5) is avoided.  It is the decomposition
+    used with root-split coding.
+
+Both are built on the same child-remainder packing primitive the paper calls
+``assign``: child subtrees smaller than ``mss`` are first-fit-decreasing
+packed into bins of capacity ``mss - 1`` rooted at the current node (Lemma 3
+maps this to FFD bin packing, optimal for ``mss <= 6``).
+
+Two deviations from the paper's pseudocode, documented in DESIGN.md:
+
+* the paper's ``optimalCover`` can strand unassigned nodes below an already
+  assigned ancestor; this implementation instead propagates a *connected
+  remainder rooted at the current node* upwards, which preserves the
+  join-optimality argument while always producing a valid cover;
+* the optional padding step ("fill subtrees up to ``mss``") only absorbs
+  *whole, already covered* child subtrees, never partial paths into covered
+  regions, because partial padding is exactly what re-introduces the
+  deep-branching anomaly the root-split cover must avoid.
+
+Queries with ``//`` (ancestor-descendant) edges are split into rigid
+components first -- index keys cannot express ``//`` -- and each component is
+decomposed independently; the executor enforces the cut edges with structural
+joins.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.keys import canonical_key
+from repro.query.covers import Cover, CoverSubtree, make_subtree
+from repro.query.model import QueryNode, QueryTree
+from repro.trees.matching import AXIS_CHILD, AXIS_DESCENDANT
+
+
+# ----------------------------------------------------------------------
+# Rigid components (maximal '/'-connected subtrees)
+# ----------------------------------------------------------------------
+def component_children(node: QueryNode) -> List[QueryNode]:
+    """Children of *node* connected by a parent-child (``/``) edge."""
+    return [
+        child
+        for child, axis in zip(node.children, node.child_axes)
+        if axis == AXIS_CHILD
+    ]
+
+
+def component_nodes(node: QueryNode) -> List[QueryNode]:
+    """All nodes of the rigid component subtree rooted at *node* (pre-order)."""
+    out = [node]
+    for child in component_children(node):
+        out.extend(component_nodes(child))
+    return out
+
+
+def component_size(node: QueryNode) -> int:
+    """Number of nodes of the rigid component subtree rooted at *node*."""
+    return len(component_nodes(node))
+
+
+def component_roots(query: QueryTree) -> List[QueryNode]:
+    """Roots of the rigid components: the query root plus every ``//`` child."""
+    roots = [query.root]
+    for parent, child, axis in query.edges():
+        if axis == AXIS_DESCENDANT:
+            roots.append(child)
+    return roots
+
+
+# ----------------------------------------------------------------------
+# FFD packing of child remainders ("assign" in the paper)
+# ----------------------------------------------------------------------
+@dataclass
+class _Piece:
+    """A connected, still-uncovered subtree rooted at a child of the packing node."""
+
+    root: QueryNode
+    nodes: List[QueryNode]
+
+    @property
+    def size(self) -> int:
+        return len(self.nodes)
+
+
+def _whole_piece(node: QueryNode) -> _Piece:
+    return _Piece(root=node, nodes=component_nodes(node))
+
+
+def _ffd_pack(pieces: Sequence[_Piece], capacity: int) -> List[List[_Piece]]:
+    """First-fit-decreasing packing of pieces into bins of the given capacity."""
+    bins: List[List[_Piece]] = []
+    fill: List[int] = []
+    for piece in sorted(pieces, key=lambda item: item.size, reverse=True):
+        for index, used in enumerate(fill):
+            if used + piece.size <= capacity:
+                bins[index].append(piece)
+                fill[index] += piece.size
+                break
+        else:
+            bins.append([piece])
+            fill.append(piece.size)
+    return bins
+
+
+def _bin_subtree(root: QueryNode, pieces: Sequence[_Piece]) -> CoverSubtree:
+    nodes = [root]
+    for piece in pieces:
+        nodes.extend(piece.nodes)
+    return make_subtree(root, nodes)
+
+
+# ----------------------------------------------------------------------
+# Padding (max-covers, Section 5.2.1)
+# ----------------------------------------------------------------------
+def _pad_bins(root: QueryNode, bins: List[CoverSubtree], mss: int) -> List[CoverSubtree]:
+    """Grow bins rooted at *root* towards size ``mss`` with whole covered child subtrees.
+
+    Only entire child subtrees already covered by the other bins are added, and
+    never one whose unordered structure duplicates an existing sibling inside
+    the bin (that would make key positions ambiguous).
+    """
+    padded: List[CoverSubtree] = []
+    for subtree in bins:
+        if subtree.root is not root or subtree.size >= mss:
+            padded.append(subtree)
+            continue
+        node_ids = set(subtree.node_ids)
+        existing_child_keys = {
+            canonical_key(child)[0]
+            for child in component_children(root)
+            if child.node_id in node_ids
+        }
+        for child in component_children(root):
+            if child.node_id in node_ids:
+                continue
+            child_nodes = component_nodes(child)
+            if len(node_ids) + len(child_nodes) > mss:
+                continue
+            child_key = canonical_key(child)[0]
+            if child_key in existing_child_keys:
+                continue
+            node_ids.update(node.node_id for node in child_nodes)
+            existing_child_keys.add(child_key)
+        padded.append(CoverSubtree(root=root, node_ids=frozenset(node_ids)))
+    return padded
+
+
+# ----------------------------------------------------------------------
+# optimalCover
+# ----------------------------------------------------------------------
+def _optimal_component(
+    node: QueryNode, mss: int, is_component_root: bool, pad: bool
+) -> Tuple[List[CoverSubtree], Optional[_Piece]]:
+    """Cover the rigid component below *node*; may defer a remainder to the parent."""
+    subtrees: List[CoverSubtree] = []
+    pieces: List[_Piece] = []
+
+    for child in component_children(node):
+        size = component_size(child)
+        if size == mss:
+            subtrees.append(make_subtree(child, component_nodes(child)))
+        elif size > mss:
+            child_subtrees, remainder = _optimal_component(child, mss, False, pad)
+            subtrees.extend(child_subtrees)
+            if remainder is not None:
+                pieces.append(remainder)
+        else:
+            pieces.append(_whole_piece(child))
+
+    packed = _ffd_pack(pieces, mss - 1)
+
+    remainder: Optional[_Piece] = None
+    if not is_component_root and mss > 1:
+        if not packed:
+            remainder = _Piece(root=node, nodes=[node])
+        else:
+            # Defer the least-full bin to the parent when it still fits there.
+            smallest_index = min(range(len(packed)), key=lambda i: sum(p.size for p in packed[i]))
+            smallest_size = sum(piece.size for piece in packed[smallest_index])
+            if 1 + smallest_size <= mss - 1:
+                deferred = packed.pop(smallest_index)
+                nodes = [node]
+                for piece in deferred:
+                    nodes.extend(piece.nodes)
+                remainder = _Piece(root=node, nodes=nodes)
+
+    own_bins = [_bin_subtree(node, bin_pieces) for bin_pieces in packed]
+    if not own_bins and remainder is None:
+        # Nothing roots here and nothing is deferred: the node still needs covering.
+        own_bins.append(make_subtree(node, [node]))
+    if pad:
+        own_bins = _pad_bins(node, own_bins, mss)
+    subtrees.extend(own_bins)
+    return subtrees, remainder
+
+
+def optimal_cover(query: QueryTree, mss: int, pad: bool = True) -> Cover:
+    """Join-optimal cover of *query* (paper's ``optimalCover``).
+
+    Used with the filter-based and subtree-interval codings; the resulting
+    subtrees may overlap on internal nodes, which those codings can join on.
+    """
+    if mss < 1:
+        raise ValueError("mss must be at least 1")
+    subtrees: List[CoverSubtree] = []
+    for root in component_roots(query):
+        component_subtrees, remainder = _optimal_component(root, mss, True, pad)
+        subtrees.extend(component_subtrees)
+        if remainder is not None:  # pragma: no cover - component roots never defer
+            subtrees.append(make_subtree(remainder.root, remainder.nodes))
+    return Cover(query=query, subtrees=subtrees)
+
+
+# ----------------------------------------------------------------------
+# minRC
+# ----------------------------------------------------------------------
+def _forced_root_ids(query: QueryTree) -> frozenset:
+    """Query nodes that must root their own cover subtree under root-split coding.
+
+    These are the parent endpoints of ``//`` edges: the executor can only
+    anchor an ancestor-descendant join on a node whose interval code is
+    stored, i.e. on a cover-subtree root.
+    """
+    forced = set()
+    for parent, _, axis in query.edges():
+        if axis == AXIS_DESCENDANT:
+            forced.add(parent.node_id)
+    return frozenset(forced)
+
+
+def _contains_forced(node: QueryNode, forced: frozenset) -> bool:
+    """``True`` when the rigid component subtree of *node* contains a forced root."""
+    return any(item.node_id in forced for item in component_nodes(node))
+
+
+def _min_rc_component(node: QueryNode, mss: int, pad: bool, forced: frozenset) -> List[CoverSubtree]:
+    """Smallest root-split cover of the rigid component rooted at *node*."""
+    subtrees: List[CoverSubtree] = []
+    pieces: List[_Piece] = []
+
+    for child in component_children(node):
+        size = component_size(child)
+        if _contains_forced(child, forced) or size > mss:
+            # Forced roots must end up rooting their own subtrees, so descend.
+            subtrees.extend(_min_rc_component(child, mss, pad, forced))
+        elif size == mss:
+            subtrees.append(make_subtree(child, component_nodes(child)))
+        else:
+            pieces.append(_whole_piece(child))
+
+    packed = _ffd_pack(pieces, mss - 1)
+    if not packed:
+        packed = [[]]  # the node itself still needs a covering subtree rooted here
+    own_bins = [_bin_subtree(node, bin_pieces) for bin_pieces in packed]
+    if pad:
+        own_bins = _pad_bins(node, own_bins, mss)
+    subtrees.extend(own_bins)
+    return subtrees
+
+
+def min_rc(query: QueryTree, mss: int, pad: bool = True) -> Cover:
+    """Smallest root-split cover of *query* (paper's ``minRC``).
+
+    Every cover subtree's root is the query root, a ``//`` child, the parent
+    endpoint of a ``//`` edge, a node whose component subtree exceeds ``mss``
+    or an exactly-``mss`` child of such a node -- and the parent of every
+    such root is itself the root of another cover subtree, which is what
+    makes root-only joins sufficient and avoids the deep-branching anomaly.
+    """
+    if mss < 1:
+        raise ValueError("mss must be at least 1")
+    forced = _forced_root_ids(query)
+    subtrees: List[CoverSubtree] = []
+    for root in component_roots(query):
+        subtrees.extend(_min_rc_component(root, mss, pad, forced))
+    return Cover(query=query, subtrees=subtrees)
+
+
+# ----------------------------------------------------------------------
+# Strategy dispatch
+# ----------------------------------------------------------------------
+_STRATEGIES = {
+    "optimal": optimal_cover,
+    "min-rc": min_rc,
+}
+
+
+def decompose(query: QueryTree, mss: int, strategy: str = "optimal", pad: bool = True) -> Cover:
+    """Decompose *query* with the named strategy (``"optimal"`` or ``"min-rc"``)."""
+    try:
+        algorithm = _STRATEGIES[strategy]
+    except KeyError:
+        known = ", ".join(sorted(_STRATEGIES))
+        raise ValueError(f"unknown decomposition strategy {strategy!r} (known: {known})") from None
+    return algorithm(query, mss, pad=pad)

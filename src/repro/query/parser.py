@@ -1,0 +1,124 @@
+"""A compact textual syntax for tree queries.
+
+Two forms are supported and can be mixed freely:
+
+Bracketed tree form
+    ``S(NP(NNS(agouti)))(//VP)`` -- a node label followed by parenthesised
+    children.  A child whose text starts with ``//`` is attached with the
+    ancestor-descendant axis, otherwise with the parent-child axis.
+
+Linear path form
+    ``S/NP//NN`` -- a chain of labels separated by ``/`` (child) or ``//``
+    (descendant), equivalent to ``S(NP(//NN))``.  Paths may appear inside
+    brackets as well, e.g. ``VP(VBZ/is)(NP//NN)``.
+
+The grammar in EBNF::
+
+    query   := step
+    step    := label chain* child*
+    chain   := ("/" | "//") label chain* child*
+    child   := "(" ["//" | "/"] step ")"
+    label   := any run of characters except "(", ")" and "/"
+
+Whitespace around tokens is ignored.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.query.model import QueryNode, QueryTree
+from repro.trees.matching import AXIS_CHILD, AXIS_DESCENDANT
+
+
+class QuerySyntaxError(ValueError):
+    """Raised when a query string cannot be parsed."""
+
+    def __init__(self, message: str, position: int):
+        super().__init__(f"{message} (at position {position})")
+        self.position = position
+
+
+class _Parser:
+    def __init__(self, text: str):
+        self.text = text
+        self.position = 0
+
+    # ------------------------------------------------------------------
+    def _skip_whitespace(self) -> None:
+        while self.position < len(self.text) and self.text[self.position].isspace():
+            self.position += 1
+
+    def _peek(self) -> str:
+        self._skip_whitespace()
+        if self.position >= len(self.text):
+            return ""
+        return self.text[self.position]
+
+    def _read_axis(self) -> str:
+        """Consume an optional axis marker, defaulting to the child axis."""
+        self._skip_whitespace()
+        if self.text.startswith("//", self.position):
+            self.position += 2
+            return AXIS_DESCENDANT
+        if self.text.startswith("/", self.position):
+            self.position += 1
+            return AXIS_CHILD
+        return AXIS_CHILD
+
+    def _read_label(self) -> str:
+        self._skip_whitespace()
+        start = self.position
+        while self.position < len(self.text) and self.text[self.position] not in "()/" and not self.text[self.position].isspace():
+            self.position += 1
+        label = self.text[start:self.position]
+        if not label:
+            raise QuerySyntaxError("expected a node label", start)
+        return label
+
+    # ------------------------------------------------------------------
+    def parse_step(self) -> QueryNode:
+        """Parse ``label chain* child*`` starting at the current position."""
+        node = QueryNode(self._read_label())
+        self._parse_tail(node)
+        return node
+
+    def _parse_tail(self, node: QueryNode) -> None:
+        """Parse the chains and bracketed children that follow a label."""
+        while True:
+            self._skip_whitespace()
+            if self.position >= len(self.text):
+                return
+            current = self.text[self.position]
+            if current == "(":
+                self.position += 1
+                axis = self._read_axis()
+                child = self.parse_step()
+                if self._peek() != ")":
+                    raise QuerySyntaxError("missing ')'", self.position)
+                self.position += 1
+                node.add_child(child, axis)
+            elif current == "/":
+                axis = self._read_axis()
+                child = QueryNode(self._read_label())
+                node.add_child(child, axis)
+                # The rest of the chain hangs off the new child.
+                self._parse_tail(child)
+                return
+            else:
+                return
+
+
+def parse_query(text: str) -> QueryTree:
+    """Parse a query string into a :class:`~repro.query.model.QueryTree`."""
+    parser = _Parser(text)
+    parser._skip_whitespace()
+    if parser.position >= len(text):
+        raise QuerySyntaxError("empty query", 0)
+    root = parser.parse_step()
+    parser._skip_whitespace()
+    if parser.position != len(text):
+        raise QuerySyntaxError(
+            f"unexpected trailing text {text[parser.position:]!r}", parser.position
+        )
+    return QueryTree(root)

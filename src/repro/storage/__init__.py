@@ -1,0 +1,32 @@
+"""Page-based storage engine.
+
+The paper implements its subtree index as "a native disk-based B+Tree index"
+with 4096-byte pages and no private buffer cache (Section 6.1).  This package
+reproduces that substrate in pure Python:
+
+* :mod:`repro.storage.codec` -- varint and record (de)serialisation helpers.
+* :mod:`repro.storage.pager` -- a fixed-size page file with allocation.
+* :mod:`repro.storage.bptree` -- a disk-resident B+Tree mapping byte-string
+  keys to byte-string values, with overflow chains for large posting lists.
+"""
+
+from repro.storage.bptree import BPlusTree
+from repro.storage.codec import (
+    decode_uint32_list,
+    decode_varint,
+    encode_uint32_list,
+    encode_varint,
+    read_varint,
+)
+from repro.storage.pager import PAGE_SIZE, Pager
+
+__all__ = [
+    "BPlusTree",
+    "Pager",
+    "PAGE_SIZE",
+    "encode_varint",
+    "decode_varint",
+    "read_varint",
+    "encode_uint32_list",
+    "decode_uint32_list",
+]

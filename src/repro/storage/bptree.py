@@ -1,0 +1,496 @@
+"""A disk-resident B+Tree mapping byte-string keys to byte-string values.
+
+This is the physical structure behind the subtree index ("our subtree index
+was implemented as a native disk-based B+Tree index", Section 6.1).  Keys are
+canonical subtree encodings, values are serialised posting lists.  Values
+larger than a quarter page spill into overflow page chains so that posting
+lists of any size can be stored while keeping leaf pages balanced.
+
+The tree supports point lookups, ordered iteration, prefix scans, single-key
+insertion (with node splits) and sorted bulk loading, which is what index
+construction uses.
+"""
+
+from __future__ import annotations
+
+import struct
+from bisect import bisect_left, bisect_right
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+from repro.storage.codec import (
+    decode_length_prefixed,
+    decode_varint,
+    encode_length_prefixed,
+    encode_varint,
+)
+from repro.storage.pager import PAGE_SIZE, Pager
+
+_META = struct.Struct("<4sIIQ")  # magic, root page, height, entry count
+_MAGIC = b"SIBT"
+
+_NODE_INTERNAL = 1
+_NODE_LEAF = 2
+_NODE_OVERFLOW = 3
+
+_UINT32 = struct.Struct("<I")
+_OVERFLOW_HEADER = struct.Struct("<BIH")  # type, next page, bytes used in page
+
+
+class BPlusTreeError(RuntimeError):
+    """Raised on malformed tree files or invalid operations."""
+
+
+class _Leaf:
+    """In-memory image of a leaf page."""
+
+    __slots__ = ("keys", "values", "next_leaf")
+
+    def __init__(self, keys: Optional[List[bytes]] = None,
+                 values: Optional[List[Tuple[bool, bytes]]] = None,
+                 next_leaf: int = 0):
+        self.keys: List[bytes] = keys or []
+        # Each value is (is_overflow, payload); payload is the inline value or
+        # the packed (first_page, total_length) pointer for overflow chains.
+        self.values: List[Tuple[bool, bytes]] = values or []
+        self.next_leaf = next_leaf
+
+
+class _Internal:
+    """In-memory image of an internal page."""
+
+    __slots__ = ("keys", "children")
+
+    def __init__(self, keys: Optional[List[bytes]] = None, children: Optional[List[int]] = None):
+        self.keys: List[bytes] = keys or []
+        self.children: List[int] = children or []
+
+
+class BPlusTree:
+    """Disk B+Tree over a :class:`~repro.storage.pager.Pager`.
+
+    Parameters
+    ----------
+    path:
+        File backing the tree.  An existing file is opened, a missing one is
+        initialised with an empty tree.
+    page_size:
+        Page size in bytes (default 4096, as in the paper's setup).
+    """
+
+    def __init__(self, path: str, page_size: int = PAGE_SIZE):
+        self.pager = Pager(path, page_size=page_size)
+        self._overflow_threshold = page_size // 4
+        meta = self.pager.read(0)
+        magic, root, height, count = _META.unpack_from(meta, 0)
+        if magic == _MAGIC:
+            self._root = root
+            self._height = height
+            self._count = count
+        elif magic == b"\x00\x00\x00\x00":
+            root_page = self.pager.allocate()
+            self._root = root_page
+            self._height = 1
+            self._count = 0
+            self._write_leaf(root_page, _Leaf())
+            self._write_meta()
+        else:
+            raise BPlusTreeError(f"not a B+Tree file: bad magic {magic!r}")
+
+    # ------------------------------------------------------------------
+    # Metadata
+    # ------------------------------------------------------------------
+    def _write_meta(self) -> None:
+        self.pager.write(0, _META.pack(_MAGIC, self._root, self._height, self._count))
+
+    def __len__(self) -> int:
+        return self._count
+
+    @property
+    def height(self) -> int:
+        """Height of the tree (1 = a single leaf)."""
+        return self._height
+
+    def size_bytes(self) -> int:
+        """Size of the index file in bytes."""
+        return self.pager.size_bytes()
+
+    def close(self) -> None:
+        """Flush and close the backing file."""
+        self._write_meta()
+        self.pager.close()
+
+    def flush(self) -> None:
+        """Flush metadata and dirty pages to disk."""
+        self._write_meta()
+        self.pager.flush()
+
+    def __enter__(self) -> "BPlusTree":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Page (de)serialisation
+    # ------------------------------------------------------------------
+    def _write_leaf(self, page_id: int, leaf: _Leaf) -> None:
+        out = bytearray([_NODE_LEAF])
+        out += _UINT32.pack(leaf.next_leaf)
+        out += encode_varint(len(leaf.keys))
+        for key, (is_overflow, payload) in zip(leaf.keys, leaf.values):
+            out += encode_length_prefixed(key)
+            out.append(1 if is_overflow else 0)
+            out += encode_length_prefixed(payload)
+        if len(out) > self.pager.page_size:
+            raise BPlusTreeError("leaf serialisation exceeds the page size")
+        self.pager.write(page_id, bytes(out))
+
+    def _read_leaf(self, data: bytes) -> _Leaf:
+        next_leaf = _UINT32.unpack_from(data, 1)[0]
+        count, offset = decode_varint(data, 1 + _UINT32.size)
+        keys: List[bytes] = []
+        values: List[Tuple[bool, bytes]] = []
+        for _ in range(count):
+            key, offset = decode_length_prefixed(data, offset)
+            is_overflow = bool(data[offset])
+            offset += 1
+            payload, offset = decode_length_prefixed(data, offset)
+            keys.append(key)
+            values.append((is_overflow, payload))
+        return _Leaf(keys, values, next_leaf)
+
+    def _write_internal(self, page_id: int, node: _Internal) -> None:
+        out = bytearray([_NODE_INTERNAL])
+        out += encode_varint(len(node.keys))
+        for key in node.keys:
+            out += encode_length_prefixed(key)
+        for child in node.children:
+            out += _UINT32.pack(child)
+        if len(out) > self.pager.page_size:
+            raise BPlusTreeError("internal node serialisation exceeds the page size")
+        self.pager.write(page_id, bytes(out))
+
+    def _read_internal(self, data: bytes) -> _Internal:
+        count, offset = decode_varint(data, 1)
+        keys: List[bytes] = []
+        for _ in range(count):
+            key, offset = decode_length_prefixed(data, offset)
+            keys.append(key)
+        children: List[int] = []
+        for _ in range(count + 1):
+            children.append(_UINT32.unpack_from(data, offset)[0])
+            offset += _UINT32.size
+        return _Internal(keys, children)
+
+    def _read_node(self, page_id: int) -> Tuple[int, object]:
+        data = self.pager.read(page_id)
+        node_type = data[0]
+        if node_type == _NODE_LEAF:
+            return node_type, self._read_leaf(data)
+        if node_type == _NODE_INTERNAL:
+            return node_type, self._read_internal(data)
+        raise BPlusTreeError(f"page {page_id} is not a tree node (type {node_type})")
+
+    # ------------------------------------------------------------------
+    # Overflow chains for large values
+    # ------------------------------------------------------------------
+    def _store_value(self, value: bytes) -> Tuple[bool, bytes]:
+        """Return the leaf payload for *value*, spilling to overflow pages if large."""
+        if len(value) <= self._overflow_threshold:
+            return False, value
+        capacity = self.pager.page_size - _OVERFLOW_HEADER.size
+        chunks = [value[i:i + capacity] for i in range(0, len(value), capacity)]
+        next_page = 0
+        for chunk in reversed(chunks):
+            page_id = self.pager.allocate()
+            payload = _OVERFLOW_HEADER.pack(_NODE_OVERFLOW, next_page, len(chunk)) + chunk
+            self.pager.write(page_id, payload)
+            next_page = page_id
+        pointer = _UINT32.pack(next_page) + encode_varint(len(value))
+        return True, pointer
+
+    def _load_value(self, is_overflow: bool, payload: bytes) -> bytes:
+        if not is_overflow:
+            return payload
+        page_id = _UINT32.unpack_from(payload, 0)[0]
+        total, _ = decode_varint(payload, _UINT32.size)
+        parts: List[bytes] = []
+        remaining = total
+        while page_id and remaining > 0:
+            data = self.pager.read(page_id)
+            node_type, next_page, used = _OVERFLOW_HEADER.unpack_from(data, 0)
+            if node_type != _NODE_OVERFLOW:
+                raise BPlusTreeError(f"page {page_id} is not an overflow page")
+            chunk = data[_OVERFLOW_HEADER.size:_OVERFLOW_HEADER.size + used]
+            parts.append(chunk)
+            remaining -= len(chunk)
+            page_id = next_page
+        return b"".join(parts)
+
+    # ------------------------------------------------------------------
+    # Size accounting for splits
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _leaf_entry_size(key: bytes, payload: bytes) -> int:
+        return (
+            len(encode_varint(len(key))) + len(key)
+            + 1
+            + len(encode_varint(len(payload))) + len(payload)
+        )
+
+    def _leaf_fits(self, leaf: _Leaf) -> bool:
+        size = 1 + _UINT32.size + len(encode_varint(len(leaf.keys)))
+        for key, (_, payload) in zip(leaf.keys, leaf.values):
+            size += self._leaf_entry_size(key, payload)
+        return size <= self.pager.page_size
+
+    def _internal_fits(self, node: _Internal) -> bool:
+        size = 1 + len(encode_varint(len(node.keys)))
+        for key in node.keys:
+            size += len(encode_varint(len(key))) + len(key)
+        size += _UINT32.size * len(node.children)
+        return size <= self.pager.page_size
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+    def _find_leaf(self, key: bytes) -> Tuple[int, _Leaf, List[Tuple[int, _Internal, int]]]:
+        """Descend to the leaf responsible for *key*.
+
+        Returns the leaf page id, the leaf image and the path of
+        ``(page_id, internal_node, child_index)`` traversed, root first.
+        """
+        path: List[Tuple[int, _Internal, int]] = []
+        page_id = self._root
+        while True:
+            node_type, node = self._read_node(page_id)
+            if node_type == _NODE_LEAF:
+                return page_id, node, path  # type: ignore[return-value]
+            internal: _Internal = node  # type: ignore[assignment]
+            index = bisect_right(internal.keys, key)
+            path.append((page_id, internal, index))
+            page_id = internal.children[index]
+
+    def get(self, key: bytes) -> Optional[bytes]:
+        """Return the value stored under *key* or ``None``."""
+        _, leaf, _ = self._find_leaf(key)
+        index = bisect_left(leaf.keys, key)
+        if index < len(leaf.keys) and leaf.keys[index] == key:
+            is_overflow, payload = leaf.values[index]
+            return self._load_value(is_overflow, payload)
+        return None
+
+    def __contains__(self, key: bytes) -> bool:
+        return self.get(key) is not None
+
+    # ------------------------------------------------------------------
+    # Insertion
+    # ------------------------------------------------------------------
+    def insert(self, key: bytes, value: bytes) -> None:
+        """Insert or replace the value stored under *key*."""
+        if not isinstance(key, (bytes, bytearray)):
+            raise TypeError("keys must be bytes")
+        leaf_page, leaf, path = self._find_leaf(bytes(key))
+        key = bytes(key)
+        payload = self._store_value(value)
+        index = bisect_left(leaf.keys, key)
+        if index < len(leaf.keys) and leaf.keys[index] == key:
+            leaf.values[index] = payload
+        else:
+            leaf.keys.insert(index, key)
+            leaf.values.insert(index, payload)
+            self._count += 1
+
+        if self._leaf_fits(leaf):
+            self._write_leaf(leaf_page, leaf)
+            self._write_meta()
+            return
+
+        # Split the leaf.  The split point balances *bytes*, not entry counts:
+        # posting lists vary wildly in size and a count-based split can leave
+        # one half still larger than a page.
+        entry_sizes = [
+            self._leaf_entry_size(key, payload)
+            for key, (_, payload) in zip(leaf.keys, leaf.values)
+        ]
+        total = sum(entry_sizes)
+        accumulated = 0
+        mid = 1
+        for index, size in enumerate(entry_sizes[:-1]):
+            accumulated += size
+            if accumulated >= total // 2:
+                mid = index + 1
+                break
+        else:
+            mid = len(leaf.keys) // 2 or 1
+        right = _Leaf(leaf.keys[mid:], leaf.values[mid:], leaf.next_leaf)
+        left = _Leaf(leaf.keys[:mid], leaf.values[:mid], 0)
+        right_page = self.pager.allocate()
+        left.next_leaf = right_page
+        separator = right.keys[0]
+        self._write_leaf(leaf_page, left)
+        self._write_leaf(right_page, right)
+        self._insert_into_parent(path, leaf_page, separator, right_page)
+        self._write_meta()
+
+    def _insert_into_parent(
+        self,
+        path: List[Tuple[int, _Internal, int]],
+        left_page: int,
+        separator: bytes,
+        right_page: int,
+    ) -> None:
+        if not path:
+            # The split node was the root: grow the tree by one level.
+            new_root = self.pager.allocate()
+            self._write_internal(new_root, _Internal([separator], [left_page, right_page]))
+            self._root = new_root
+            self._height += 1
+            return
+        page_id, node, child_index = path.pop()
+        node.keys.insert(child_index, separator)
+        node.children.insert(child_index + 1, right_page)
+        if self._internal_fits(node):
+            self._write_internal(page_id, node)
+            return
+        mid = len(node.keys) // 2
+        push_up = node.keys[mid]
+        right = _Internal(node.keys[mid + 1:], node.children[mid + 1:])
+        left = _Internal(node.keys[:mid], node.children[:mid + 1])
+        right_page_id = self.pager.allocate()
+        self._write_internal(page_id, left)
+        self._write_internal(right_page_id, right)
+        self._insert_into_parent(path, page_id, push_up, right_page_id)
+
+    # ------------------------------------------------------------------
+    # Iteration
+    # ------------------------------------------------------------------
+    def _leftmost_leaf(self) -> Tuple[int, _Leaf]:
+        page_id = self._root
+        while True:
+            node_type, node = self._read_node(page_id)
+            if node_type == _NODE_LEAF:
+                return page_id, node  # type: ignore[return-value]
+            page_id = node.children[0]  # type: ignore[union-attr]
+
+    def items(self) -> Iterator[Tuple[bytes, bytes]]:
+        """Yield all ``(key, value)`` pairs in key order."""
+        _, leaf = self._leftmost_leaf()
+        while True:
+            for key, (is_overflow, payload) in zip(leaf.keys, leaf.values):
+                yield key, self._load_value(is_overflow, payload)
+            if not leaf.next_leaf:
+                return
+            _, leaf = self._read_node(leaf.next_leaf)  # type: ignore[assignment]
+
+    def keys(self) -> Iterator[bytes]:
+        """Yield all keys in order."""
+        for key, _ in self.items():
+            yield key
+
+    def prefix_items(self, prefix: bytes) -> Iterator[Tuple[bytes, bytes]]:
+        """Yield ``(key, value)`` pairs whose key starts with *prefix*."""
+        _, leaf, _ = self._find_leaf(prefix)
+        index = bisect_left(leaf.keys, prefix)
+        while True:
+            while index < len(leaf.keys):
+                key = leaf.keys[index]
+                if key.startswith(prefix):
+                    is_overflow, payload = leaf.values[index]
+                    yield key, self._load_value(is_overflow, payload)
+                elif key > prefix:
+                    return
+                index += 1
+            if not leaf.next_leaf:
+                return
+            _, leaf = self._read_node(leaf.next_leaf)  # type: ignore[assignment]
+            index = 0
+
+    def range_items(self, low: bytes, high: bytes) -> Iterator[Tuple[bytes, bytes]]:
+        """Yield pairs with ``low <= key < high`` in key order."""
+        _, leaf, _ = self._find_leaf(low)
+        index = bisect_left(leaf.keys, low)
+        while True:
+            while index < len(leaf.keys):
+                key = leaf.keys[index]
+                if key >= high:
+                    return
+                is_overflow, payload = leaf.values[index]
+                yield key, self._load_value(is_overflow, payload)
+                index += 1
+            if not leaf.next_leaf:
+                return
+            _, leaf = self._read_node(leaf.next_leaf)  # type: ignore[assignment]
+            index = 0
+
+    # ------------------------------------------------------------------
+    # Bulk loading
+    # ------------------------------------------------------------------
+    def bulk_load(self, items: Sequence[Tuple[bytes, bytes]]) -> None:
+        """Build the tree bottom-up from key-sorted ``(key, value)`` pairs.
+
+        Bulk loading an empty tree is how index construction writes its
+        accumulated posting lists; it produces tightly packed pages and is
+        much faster than repeated inserts.
+        """
+        if self._count:
+            raise BPlusTreeError("bulk_load requires an empty tree")
+        previous: Optional[bytes] = None
+        for key, _ in items:
+            if previous is not None and key <= previous:
+                raise BPlusTreeError("bulk_load requires strictly increasing keys")
+            previous = key
+
+        if not items:
+            self._write_meta()
+            return
+
+        # Build the leaf level.
+        leaf_pages: List[Tuple[bytes, int]] = []  # (first key, page id)
+        current = _Leaf()
+        current_page = self._root  # reuse the pre-allocated empty root leaf
+        for key, value in items:
+            payload = self._store_value(value)
+            current.keys.append(bytes(key))
+            current.values.append(payload)
+            if not self._leaf_fits(current):
+                current.keys.pop()
+                current.values.pop()
+                leaf_pages.append((current.keys[0], current_page))
+                next_page = self.pager.allocate()
+                current.next_leaf = next_page
+                self._write_leaf(current_page, current)
+                current_page = next_page
+                current = _Leaf([bytes(key)], [payload])
+        leaf_pages.append((current.keys[0], current_page))
+        self._write_leaf(current_page, current)
+        self._count = len(items)
+
+        # Build internal levels bottom-up.
+        level: List[Tuple[bytes, int]] = leaf_pages
+        height = 1
+        while len(level) > 1:
+            next_level: List[Tuple[bytes, int]] = []
+            node = _Internal(children=[level[0][1]])
+            node_first_key = level[0][0]
+            for first_key, page_id in level[1:]:
+                node.keys.append(first_key)
+                node.children.append(page_id)
+                if not self._internal_fits(node):
+                    node.keys.pop()
+                    node.children.pop()
+                    page = self.pager.allocate()
+                    self._write_internal(page, node)
+                    next_level.append((node_first_key, page))
+                    node = _Internal(children=[page_id])
+                    node_first_key = first_key
+            page = self.pager.allocate()
+            self._write_internal(page, node)
+            next_level.append((node_first_key, page))
+            level = next_level
+            height += 1
+
+        self._root = level[0][1]
+        self._height = height
+        self._write_meta()
+        self.pager.flush()

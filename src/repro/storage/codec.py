@@ -1,0 +1,135 @@
+"""Binary encoding helpers shared by the storage and coding layers.
+
+Posting lists are stored as delta-compressed varint sequences, the standard
+inverted-index technique; index keys and page records use the same varint
+primitives.  Keeping the codecs in one module makes the byte-level format of
+the index auditable and easy to test exhaustively.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Iterable, List, Sequence, Tuple
+
+_UINT32 = struct.Struct("<I")
+
+
+def encode_varint(value: int) -> bytes:
+    """Encode a non-negative integer as a LEB128-style varint."""
+    if value < 0:
+        raise ValueError("varints encode non-negative integers only")
+    out = bytearray()
+    while True:
+        byte = value & 0x7F
+        value >>= 7
+        if value:
+            out.append(byte | 0x80)
+        else:
+            out.append(byte)
+            return bytes(out)
+
+
+def decode_varint(data: bytes, offset: int = 0) -> Tuple[int, int]:
+    """Decode a varint from *data* starting at *offset*.
+
+    Returns ``(value, next_offset)``.
+    """
+    result = 0
+    shift = 0
+    index = offset
+    while True:
+        if index >= len(data):
+            raise ValueError("truncated varint")
+        byte = data[index]
+        index += 1
+        result |= (byte & 0x7F) << shift
+        if not byte & 0x80:
+            return result, index
+        shift += 7
+        if shift > 63:
+            raise ValueError("varint too long")
+
+
+def read_varint(data: memoryview | bytes, offset: int) -> Tuple[int, int]:
+    """Alias of :func:`decode_varint` accepting memoryviews (hot path)."""
+    result = 0
+    shift = 0
+    index = offset
+    while True:
+        byte = data[index]
+        index += 1
+        result |= (byte & 0x7F) << shift
+        if not byte & 0x80:
+            return result, index
+        shift += 7
+
+
+def encode_varint_list(values: Sequence[int]) -> bytes:
+    """Encode a sequence of non-negative integers as concatenated varints."""
+    out = bytearray()
+    for value in values:
+        out += encode_varint(value)
+    return bytes(out)
+
+
+def decode_varint_list(data: bytes, count: int, offset: int = 0) -> Tuple[List[int], int]:
+    """Decode *count* varints from *data*; returns ``(values, next_offset)``."""
+    values: List[int] = []
+    for _ in range(count):
+        value, offset = decode_varint(data, offset)
+        values.append(value)
+    return values, offset
+
+
+def encode_delta_list(sorted_values: Sequence[int]) -> bytes:
+    """Delta + varint encode a non-decreasing integer sequence.
+
+    The count is encoded first, followed by the first value and then the
+    gaps.  This is the classic compressed posting-list layout.
+    """
+    out = bytearray(encode_varint(len(sorted_values)))
+    previous = 0
+    for value in sorted_values:
+        if value < previous:
+            raise ValueError("delta encoding requires a non-decreasing sequence")
+        out += encode_varint(value - previous)
+        previous = value
+    return bytes(out)
+
+
+def decode_delta_list(data: bytes, offset: int = 0) -> Tuple[List[int], int]:
+    """Decode a sequence produced by :func:`encode_delta_list`."""
+    count, offset = decode_varint(data, offset)
+    values: List[int] = []
+    current = 0
+    for _ in range(count):
+        gap, offset = decode_varint(data, offset)
+        current += gap
+        values.append(current)
+    return values, offset
+
+
+def encode_uint32_list(values: Iterable[int]) -> bytes:
+    """Encode integers as fixed-width little-endian uint32 (page pointers)."""
+    return b"".join(_UINT32.pack(value) for value in values)
+
+
+def decode_uint32_list(data: bytes) -> List[int]:
+    """Decode a byte string of packed uint32 values."""
+    if len(data) % 4:
+        raise ValueError("uint32 list payload must be a multiple of 4 bytes")
+    return [_UINT32.unpack_from(data, offset)[0] for offset in range(0, len(data), 4)]
+
+
+def encode_length_prefixed(payload: bytes) -> bytes:
+    """Prefix *payload* with its varint-encoded length."""
+    return encode_varint(len(payload)) + payload
+
+
+def decode_length_prefixed(data: bytes, offset: int = 0) -> Tuple[bytes, int]:
+    """Decode a length-prefixed payload; returns ``(payload, next_offset)``."""
+    length, offset = decode_varint(data, offset)
+    end = offset + length
+    if end > len(data):
+        raise ValueError("truncated length-prefixed payload")
+    return bytes(data[offset:end]), end

@@ -1,0 +1,116 @@
+"""Fixed-size page management over a single file.
+
+The experiments in the paper report index sizes with a 4096-byte system page
+size; the pager mirrors that: all B+Tree nodes and overflow chains live in
+4096-byte pages of one index file.  No user-level buffer cache is kept beyond
+a small write-back dictionary -- "we relied on the page buffering of the
+operating system", Section 6.1.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, Optional
+
+#: Default page size in bytes (matches the paper's reported system page size).
+PAGE_SIZE = 4096
+
+
+class PageError(RuntimeError):
+    """Raised on invalid page accesses (out of range, wrong size, ...)."""
+
+
+class Pager:
+    """Allocate, read and write fixed-size pages in a single file.
+
+    Page 0 is reserved for the caller's metadata (the B+Tree stores its root
+    pointer there).  Pages are identified by their ordinal number.
+    """
+
+    def __init__(self, path: str | os.PathLike, page_size: int = PAGE_SIZE, cache_pages: int = 256):
+        self.path = os.fspath(path)
+        self.page_size = page_size
+        self._cache_limit = cache_pages
+        self._cache: Dict[int, bytes] = {}
+        existed = os.path.exists(self.path)
+        self._file = open(self.path, "r+b" if existed else "w+b")
+        self._file.seek(0, os.SEEK_END)
+        size = self._file.tell()
+        if size % page_size:
+            raise PageError(
+                f"file size {size} is not a multiple of the page size {page_size}"
+            )
+        self._page_count = size // page_size
+        if self._page_count == 0:
+            # Reserve the metadata page.
+            self.allocate()
+
+    # ------------------------------------------------------------------
+    @property
+    def page_count(self) -> int:
+        """Number of pages currently allocated (including the meta page)."""
+        return self._page_count
+
+    def size_bytes(self) -> int:
+        """Total size of the page file in bytes."""
+        return self._page_count * self.page_size
+
+    # ------------------------------------------------------------------
+    def allocate(self) -> int:
+        """Allocate a new zero-filled page and return its page id."""
+        page_id = self._page_count
+        self._file.seek(page_id * self.page_size)
+        self._file.write(b"\x00" * self.page_size)
+        self._page_count += 1
+        return page_id
+
+    def read(self, page_id: int) -> bytes:
+        """Read the raw contents of page *page_id*."""
+        if not 0 <= page_id < self._page_count:
+            raise PageError(f"page {page_id} out of range (have {self._page_count})")
+        cached = self._cache.get(page_id)
+        if cached is not None:
+            return cached
+        self._file.seek(page_id * self.page_size)
+        data = self._file.read(self.page_size)
+        if len(data) != self.page_size:
+            raise PageError(f"short read on page {page_id}")
+        self._remember(page_id, data)
+        return data
+
+    def write(self, page_id: int, data: bytes) -> None:
+        """Write *data* (at most one page) to page *page_id*."""
+        if not 0 <= page_id < self._page_count:
+            raise PageError(f"page {page_id} out of range (have {self._page_count})")
+        if len(data) > self.page_size:
+            raise PageError(
+                f"payload of {len(data)} bytes exceeds the page size {self.page_size}"
+            )
+        if len(data) < self.page_size:
+            data = data + b"\x00" * (self.page_size - len(data))
+        self._file.seek(page_id * self.page_size)
+        self._file.write(data)
+        self._remember(page_id, data)
+
+    def _remember(self, page_id: int, data: bytes) -> None:
+        if len(self._cache) >= self._cache_limit:
+            self._cache.pop(next(iter(self._cache)))
+        self._cache[page_id] = data
+
+    # ------------------------------------------------------------------
+    def flush(self) -> None:
+        """Flush buffered writes to the operating system."""
+        self._file.flush()
+
+    def close(self) -> None:
+        """Flush and close the underlying file."""
+        if not self._file.closed:
+            self._file.flush()
+            self._file.close()
+        self._cache.clear()
+
+    def __enter__(self) -> "Pager":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

@@ -1,0 +1,120 @@
+"""The WH query set (Section 6.1).
+
+The paper's WH set was built by rewriting 48 AOL questions (12 each of what,
+which, where and who) into declarative matching sentences, parsing them and
+dropping the lexical leaves, "leaving only the sentence structure".  The AOL
+log is not redistributable, so this module ships 48 hand-written structural
+templates with the same flavour: declarative answer-sentence skeletons of
+varying size and selectivity, 12 per question group, expressed over the same
+Penn tag set the corpus generator produces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.query.model import QueryTree
+from repro.query.parser import parse_query
+
+#: The four question groups of Table 3.
+WH_GROUPS = ("who", "what", "where", "which")
+
+#: Structural templates per group.  Each template is a query string in the
+#: syntax of :mod:`repro.query.parser`; lexical leaves are already removed.
+_TEMPLATES: Dict[str, List[str]] = {
+    # "who is X", "who did X" -> person-subject sentence skeletons.
+    "who": [
+        "S(NP(NNP))(VP(VBZ)(NP))",
+        "S(NP(NNP)(NNP))(VP(VBD)(NP(DT)(NN)))",
+        "S(NP(NNP))(VP(VBZ)(NP(DT)(NN)))",
+        "S(NP(PRP))(VP(VBD)(NP))",
+        "S(NP(NNP))(VP(VBD)(NP)(PP(IN)(NP)))",
+        "S(NP(DT)(NN))(VP(VBZ)(NP(NNP)))",
+        "S(NP(NNP)(NNP))(VP(VBZ)(ADJP(JJ)))",
+        "S(NP(NNP))(VP(MD)(VP(VB)(NP)))",
+        "S(NP(NNP))(VP(VBZ)(VP(VBN)(PP(IN)(NP))))",
+        "S(NP(DT)(NN)(PP(IN)(NP(NNP))))(VP(VBZ)(NP))",
+        "S(NP(NNP))(VP(VBD)(SBAR(IN)(S(NP)(VP))))",
+        "S(NP)(VP(VBZ)(NP(NP(DT)(NN))(PP(IN)(NP(NNP)))))",
+    ],
+    # "what is X", "what does X do" -> definitional skeletons like Figure 1.
+    "what": [
+        "S(NP(NN))(VP(VBZ)(NP(DT)(NN)))",
+        "S(NP(NNS))(VP(VBP)(NP))",
+        "S(NP(DT)(NN))(VP(VBZ)(NP(DT)(JJ)(NN)))",
+        "S(NP(NN))(VP(VBZ)(NP(DT)(NN))(PP(IN)(NP)))",
+        "S(NP(NNS))(VP(VBZ)(ADJP(JJ)))",
+        "S(NP(DT)(NN))(VP(VBD)(NP(NN)))",
+        "S(NP(NN)(NN))(VP(VBZ)(NP))",
+        "S(NP(DT)(JJ)(NN))(VP(VBZ)(NP(NN)))",
+        "S(NP(NN))(VP(VBZ)(VP(VBN)(PP(IN)(NP(NN)))))",
+        "S(NP(DT)(NN))(VP(VBZ)(SBAR(IN)(S(NP)(VP))))",
+        "S(NP(NN))(VP(MD)(VP(VB)(NP(DT)(NN))))",
+        "S(NP(NP(NN))(PP(IN)(NP)))(VP(VBZ)(NP))",
+    ],
+    # "where is X" -> locative prepositional-phrase skeletons.
+    "where": [
+        "S(NP(NNP))(VP(VBZ)(PP(IN)(NP(NNP))))",
+        "S(NP(DT)(NN))(VP(VBZ)(PP(IN)(NP(DT)(NN))))",
+        "S(NP(NNS))(VP(VBP)(PP(IN)(NP(NNP))))",
+        "S(NP(NN))(VP(VBD)(PP(IN)(NP(NNP))))",
+        "S(NP(NNP)(NNP))(VP(VBZ)(PP(IN)(NP)))",
+        "S(NP(DT)(NNS))(VP(VBP)(PP(IN)(NP(NN))))",
+        "S(NP(NN))(VP(VBZ)(NP(DT)(NN))(PP(IN)(NP(NNP))))",
+        "S(PP(IN)(NP))(NP(DT)(NN))(VP(VBZ))",
+        "S(NP(NNP))(VP(VBD)(NP)(PP(IN)(NP(DT)(NN))))",
+        "S(NP(DT)(NN)(PP(IN)(NP)))(VP(VBZ)(PP(IN)(NP)))",
+        "S(NP(PRP))(VP(VBD)(PP(IN)(NP(NNP)(NNP))))",
+        "S(NP(NN))(VP(VBZ)(PP(TO)(NP)))",
+    ],
+    # "which X ..." -> skeletons with marked or relative noun phrases.
+    "which": [
+        "S(NP(DT)(NN))(VP(VBZ)(NP(NN)))",
+        "S(NP(DT)(JJ)(NN))(VP(VBD)(NP))",
+        "S(NP(NP(DT)(NN))(SBAR(WHNP(WDT))(S(VP))))(VP(VBZ))",
+        "S(NP(DT)(NNS))(VP(VBP)(NP(DT)(NN)))",
+        "S(NP(DT)(NN))(VP(VBZ)(ADJP(RB)(JJ)))",
+        "S(NP(NN))(VP(VBZ)(NP(QP(CD))(NNS)))",
+        "S(NP(DT)(NN)(NN))(VP(VBD)(NP))",
+        "S(NP(DT)(NN))(VP(VBZ)(NP(NP(NN))(PP(IN)(NP))))",
+        "S(NP(JJ)(NNS))(VP(VBP)(PP(IN)(NP)))",
+        "S(NP(DT)(NN))(VP(VBD)(SBAR(WHNP(WP))(S(NP)(VP))))",
+        "S(NP(NNS))(VP(VBD)(NP(DT)(JJ)(NN)))",
+        "S(NP(DT)(NN))(VP(MD)(VP(VB)(PP(IN)(NP))))",
+    ],
+}
+
+
+@dataclass(frozen=True)
+class WHQuery:
+    """One WH query: its group, its template text and the parsed query tree."""
+
+    group: str
+    text: str
+    query: QueryTree
+
+    @property
+    def size(self) -> int:
+        """Number of query nodes."""
+        return self.query.size()
+
+
+def generate_wh_queries() -> List[WHQuery]:
+    """Return the 48 WH queries (12 per group), parsed and ready to run."""
+    queries: List[WHQuery] = []
+    for group in WH_GROUPS:
+        templates = _TEMPLATES[group]
+        if len(templates) != 12:  # pragma: no cover - guarded by tests
+            raise AssertionError(f"group {group!r} must have 12 templates, has {len(templates)}")
+        for text in templates:
+            queries.append(WHQuery(group=group, text=text, query=parse_query(text)))
+    return queries
+
+
+def wh_queries_by_group() -> Dict[str, List[WHQuery]]:
+    """The WH queries grouped by question word (the rows of Table 3)."""
+    grouped: Dict[str, List[WHQuery]] = {group: [] for group in WH_GROUPS}
+    for item in generate_wh_queries():
+        grouped[item.group].append(item)
+    return grouped

@@ -1,0 +1,127 @@
+"""Smoke tests for the experiment runners at tiny scale.
+
+The real measurements live in ``benchmarks/``; these tests only check that
+every runner produces a well-formed table whose qualitative shape matches the
+paper even at a very small corpus size, so a broken experiment is caught by
+``pytest tests/`` without paying benchmark-level runtimes.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.context import ExperimentContext
+from repro.bench.experiments import (
+    CODINGS,
+    figure2_index_keys,
+    figure3_branching,
+    figure8_index_size,
+    figure9_posting_counts,
+    figure10_build_time,
+    figure11_runtime_by_matches,
+    figure12_runtime_by_query_size,
+    figure13_scalability,
+    table1_size_ratio,
+    table2_system_comparison,
+    table3_join_counts,
+)
+
+
+@pytest.fixture(scope="module")
+def context(tmp_path_factory) -> ExperimentContext:
+    with ExperimentContext(workdir=str(tmp_path_factory.mktemp("bench")), seed=23) as ctx:
+        yield ctx
+
+
+class TestContext:
+    def test_corpus_is_cached(self, context: ExperimentContext) -> None:
+        assert context.corpus(30) is context.corpus(30)
+        assert len(context.corpus(30)) == 30
+
+    def test_index_is_cached(self, context: ExperimentContext) -> None:
+        first = context.subtree_index(30, "filter", 2)
+        assert context.subtree_index(30, "filter", 2) is first
+
+    def test_executor_and_store(self, context: ExperimentContext) -> None:
+        from repro.query.parser import parse_query
+
+        executor = context.executor(30, "root-split", 2)
+        assert executor.execute(parse_query("NP")).total_matches > 0
+
+    def test_tree_store(self, context: ExperimentContext) -> None:
+        store = context.tree_store(30)
+        assert len(store) == 30
+        assert context.tree_store(30) is store  # cached, closed by the context
+
+    def test_held_out_trees_differ_from_corpus(self, context: ExperimentContext) -> None:
+        from repro.trees.penn import to_penn
+
+        corpus_texts = {to_penn(tree.root) for tree in context.corpus(30)}
+        held_out_texts = {to_penn(tree.root) for tree in context.held_out_trees(10)}
+        assert not corpus_texts & held_out_texts or len(held_out_texts) > 1
+
+
+class TestIndexExperiments:
+    def test_figure2(self, context: ExperimentContext) -> None:
+        result = figure2_index_keys(context, sentence_counts=(5, 20), mss_values=(1, 2, 3))
+        assert len(result.rows) == 6
+        for mss in (1, 2, 3):
+            series = [row[2] for row in result.rows if row[1] == mss]
+            assert series == sorted(series)
+
+    def test_figure3(self, context: ExperimentContext) -> None:
+        result = figure3_branching(context, sentence_count=20, sizes=(2, 3))
+        assert result.columns == ["branching_factor", "subtree_size", "avg_subtrees"]
+        assert result.rows
+
+    def test_figure8_and_table1(self, context: ExperimentContext) -> None:
+        figure8 = figure8_index_size(context, sentence_counts=(20,), mss_values=(1, 3, 5))
+        sizes = {(row[1], row[2]): row[3] for row in figure8.rows}
+        assert sizes[("filter", 5)] <= sizes[("root-split", 5)] <= sizes[("subtree-interval", 5)]
+
+        table1 = table1_size_ratio(figure8)
+        ratios = {row[1]: row[2] for row in table1.rows}
+        assert ratios["root-split"] <= ratios["subtree-interval"]
+
+    def test_figure9(self, context: ExperimentContext) -> None:
+        result = figure9_posting_counts(context, sentence_counts=(20,), mss_values=(1, 3))
+        postings = {(row[1], row[2]): row[3] for row in result.rows}
+        assert postings[("root-split", 1)] == postings[("subtree-interval", 1)]
+        assert postings[("filter", 3)] <= postings[("root-split", 3)] <= postings[("subtree-interval", 3)]
+
+    def test_figure10(self, context: ExperimentContext) -> None:
+        result = figure10_build_time(context, sentence_counts=(20,), mss_values=(1, 3))
+        assert all(row[3] >= 0 for row in result.rows)
+        assert len(result.rows) == len(CODINGS) * 2
+
+
+class TestQueryExperiments:
+    def test_figure11(self, context: ExperimentContext) -> None:
+        result = figure11_runtime_by_matches(context, sentence_count=40, mss_values=(1, 2))
+        assert result.rows
+        assert all(row[4] >= 0 for row in result.rows)
+        assert {row[0] for row in result.rows} == set(CODINGS)
+
+    def test_figure12(self, context: ExperimentContext) -> None:
+        result = figure12_runtime_by_query_size(
+            context, sentence_count=40, mss_values=(1, 2), min_matches=1
+        )
+        assert result.rows
+        assert all(isinstance(row[2], int) for row in result.rows)
+
+    def test_figure13(self, context: ExperimentContext) -> None:
+        result = figure13_scalability(context, sentence_counts=(20, 40), mss=2)
+        assert len(result.rows) == 2 * len(CODINGS)
+        assert all(row[2] >= 0 for row in result.rows)
+
+    def test_table2(self, context: ExperimentContext) -> None:
+        result = table2_system_comparison(context, sentence_count=40, cutoffs=(0.01,))
+        systems = {row[1] for row in result.rows}
+        assert "RS" in systems and "ATG" in systems and "FB(0.01)" in systems
+
+    def test_table3(self) -> None:
+        result = table3_join_counts(mss_values=(2, 5))
+        assert len(result.rows) == 4 * 2
+        for row in result.rows:
+            group, mss, rs, si = row
+            assert si <= rs + 1e-9

@@ -1,0 +1,74 @@
+"""Unit tests for the experiment result container."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.results import ExperimentResult, geometric_spread
+
+
+@pytest.fixture()
+def result() -> ExperimentResult:
+    result = ExperimentResult(
+        name="Figure X",
+        description="a demo table",
+        columns=["size", "coding", "value"],
+    )
+    result.add_row(100, "filter", 1.5)
+    result.add_row(100, "root-split", 2.5)
+    result.add_row(200, "filter", 3.0)
+    return result
+
+
+class TestExperimentResult:
+    def test_add_row_checks_arity(self, result: ExperimentResult) -> None:
+        with pytest.raises(ValueError):
+            result.add_row(1, 2)
+
+    def test_column(self, result: ExperimentResult) -> None:
+        assert result.column("size") == [100, 100, 200]
+        with pytest.raises(ValueError):
+            result.column("missing")
+
+    def test_filtered(self, result: ExperimentResult) -> None:
+        rows = result.filtered(size=100, coding="filter")
+        assert rows == [[100, "filter", 1.5]]
+        assert result.filtered(size=999) == []
+
+    def test_as_dicts(self, result: ExperimentResult) -> None:
+        dicts = result.as_dicts()
+        assert dicts[0] == {"size": 100, "coding": "filter", "value": 1.5}
+
+    def test_to_text_contains_everything(self, result: ExperimentResult) -> None:
+        result.add_note("a note")
+        text = result.to_text()
+        assert "Figure X" in text
+        assert "root-split" in text
+        assert "note: a note" in text
+        # header + separator + three rows + title/description/blank + note
+        assert len(text.splitlines()) == 3 + 2 + 3 + 1
+
+    def test_to_text_on_empty_result(self) -> None:
+        empty = ExperimentResult("Empty", "no rows", ["a", "b"])
+        assert "Empty" in empty.to_text()
+
+    def test_value_formatting(self) -> None:
+        result = ExperimentResult("F", "d", ["v"])
+        result.add_row(1_234_567)
+        result.add_row(0.00012)
+        result.add_row(12.3456)
+        text = result.to_text()
+        assert "1,234,567" in text
+        assert "0.00012" in text
+        assert "12.346" in text
+
+
+class TestGeometricSpread:
+    def test_spread(self) -> None:
+        assert geometric_spread([1.0, 10.0, 100.0]) == 100.0
+
+    def test_ignores_non_positive(self) -> None:
+        assert geometric_spread([0.0, -1.0, 2.0, 8.0]) == 4.0
+
+    def test_empty(self) -> None:
+        assert geometric_spread([]) == 0.0

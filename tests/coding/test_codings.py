@@ -1,0 +1,135 @@
+"""Unit and property tests for the three coding schemes."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.coding import (
+    FilterBasedCoding,
+    FilterPosting,
+    Occurrence,
+    RootPosting,
+    RootSplitCoding,
+    SubtreeIntervalCoding,
+    SubtreePosting,
+    get_coding,
+)
+from repro.coding.base import coding_names
+from repro.trees.numbering import IntervalCode
+
+
+def _occurrence(tid: int, codes: list[tuple[int, int, int]]) -> Occurrence:
+    return Occurrence(tid=tid, codes=tuple(IntervalCode(*code) for code in codes))
+
+
+OCCURRENCES = [
+    _occurrence(3, [(2, 5, 1), (3, 2, 2)]),
+    _occurrence(3, [(2, 5, 1), (4, 3, 2)]),     # same root, different child
+    _occurrence(7, [(10, 12, 4), (11, 10, 5)]),
+    _occurrence(7, [(10, 12, 4), (11, 10, 5)]),  # exact duplicate embedding
+]
+
+
+class TestRegistry:
+    def test_known_names(self) -> None:
+        assert set(coding_names()) == {"filter", "root-split", "subtree-interval"}
+
+    @pytest.mark.parametrize("name", ["filter", "root-split", "subtree-interval"])
+    def test_get_coding(self, name: str) -> None:
+        assert get_coding(name).name == name
+
+    def test_unknown_name_rejected(self) -> None:
+        with pytest.raises(ValueError):
+            get_coding("mystery")
+
+
+class TestFilterBasedCoding:
+    def test_postings_are_unique_sorted_tids(self) -> None:
+        postings = FilterBasedCoding().postings_from_occurrences(OCCURRENCES)
+        assert postings == [FilterPosting(3), FilterPosting(7)]
+
+    def test_round_trip(self) -> None:
+        coding = FilterBasedCoding()
+        postings = coding.postings_from_occurrences(OCCURRENCES)
+        assert coding.decode_postings(coding.encode_postings(postings)) == postings
+
+    def test_posting_count(self) -> None:
+        assert FilterBasedCoding().posting_count(OCCURRENCES) == 2
+
+
+class TestRootSplitCoding:
+    def test_dedupes_same_root(self) -> None:
+        postings = RootSplitCoding().postings_from_occurrences(OCCURRENCES)
+        # Occurrences 1 and 2 share (tid=3, root pre=2); 3 and 4 are duplicates.
+        assert postings == [RootPosting(3, 2, 5, 1), RootPosting(7, 10, 12, 4)]
+
+    def test_round_trip(self) -> None:
+        coding = RootSplitCoding()
+        postings = coding.postings_from_occurrences(OCCURRENCES)
+        assert coding.decode_postings(coding.encode_postings(postings)) == postings
+
+    def test_posting_is_smaller_than_subtree_interval(self) -> None:
+        root_split = RootSplitCoding()
+        interval = SubtreeIntervalCoding()
+        rs_bytes = root_split.encode_postings(root_split.postings_from_occurrences(OCCURRENCES))
+        si_bytes = interval.encode_postings(interval.postings_from_occurrences(OCCURRENCES))
+        assert len(rs_bytes) < len(si_bytes)
+
+
+class TestSubtreeIntervalCoding:
+    def test_keeps_distinct_embeddings(self) -> None:
+        postings = SubtreeIntervalCoding().postings_from_occurrences(OCCURRENCES)
+        assert len(postings) == 3  # only the exact duplicate collapses
+
+    def test_order_values_are_preorder_ranks(self) -> None:
+        # Codes listed in canonical order that differs from pre order.
+        occurrence = _occurrence(1, [(5, 9, 2), (8, 7, 3), (6, 6, 3)])
+        posting = SubtreeIntervalCoding().postings_from_occurrences([occurrence])[0]
+        orders = [node.order for node in posting.nodes]
+        assert orders == [1, 3, 2]
+
+    def test_round_trip(self) -> None:
+        coding = SubtreeIntervalCoding()
+        postings = coding.postings_from_occurrences(OCCURRENCES)
+        assert coding.decode_postings(coding.encode_postings(postings)) == postings
+
+    def test_posting_properties(self) -> None:
+        posting = SubtreeIntervalCoding().postings_from_occurrences([OCCURRENCES[0]])[0]
+        assert posting.size == 2
+        assert posting.root.pre == 2
+
+
+class TestTidsOf:
+    @pytest.mark.parametrize("name", ["filter", "root-split", "subtree-interval"])
+    def test_tids_of(self, name: str) -> None:
+        coding = get_coding(name)
+        postings = coding.postings_from_occurrences(OCCURRENCES)
+        assert coding.tids_of(postings) == [3, 7]
+
+
+# ----------------------------------------------------------------------
+# Property tests: encode/decode are inverse for arbitrary occurrences.
+# ----------------------------------------------------------------------
+_code_strategy = st.tuples(
+    st.integers(min_value=1, max_value=10_000),
+    st.integers(min_value=1, max_value=10_000),
+    st.integers(min_value=0, max_value=60),
+)
+_occurrence_strategy = st.builds(
+    _occurrence,
+    tid=st.integers(min_value=0, max_value=1_000_000),
+    codes=st.lists(_code_strategy, min_size=1, max_size=6, unique_by=lambda c: c[0]),
+)
+
+
+@pytest.mark.parametrize("name", ["filter", "root-split", "subtree-interval"])
+@given(occurrences=st.lists(_occurrence_strategy, min_size=0, max_size=20))
+def test_round_trip_property(name: str, occurrences: list[Occurrence]) -> None:
+    coding = get_coding(name)
+    postings = coding.postings_from_occurrences(occurrences)
+    decoded = coding.decode_postings(coding.encode_postings(postings))
+    assert decoded == postings
+    # Posting lists are sorted by tid, which downstream merge joins rely on.
+    tids = [coding._tid_of(posting) for posting in postings]
+    assert tids == sorted(tids)

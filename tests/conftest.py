@@ -1,0 +1,41 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.corpus.generator import CorpusGenerator
+from repro.corpus.store import Corpus
+from repro.trees.node import ParseTree, build_tree
+from repro.trees.penn import parse_penn
+
+
+@pytest.fixture(scope="session")
+def small_corpus() -> Corpus:
+    """A deterministic 120-sentence synthetic corpus shared across tests."""
+    generator = CorpusGenerator(seed=7)
+    return Corpus(generator.generate(120))
+
+
+@pytest.fixture(scope="session")
+def tiny_corpus() -> Corpus:
+    """A deterministic 25-sentence corpus for the more expensive integration tests."""
+    generator = CorpusGenerator(seed=11)
+    return Corpus(generator.generate(25))
+
+
+@pytest.fixture()
+def paper_tree() -> ParseTree:
+    """The matching sentence of Figure 1(b) of the paper."""
+    text = (
+        "(ROOT (S (NP (DT The) (NNS agouti)) "
+        "(VP (VBZ is) (NP (DT a) (JJ short-tailed) (, ,) (JJ plant-eating) (NN rodent)))))"
+    )
+    return ParseTree(parse_penn(text), tid=0)
+
+
+@pytest.fixture()
+def figure4_tree() -> ParseTree:
+    """A small abstract tree in the spirit of Figure 4(a): A(B)(C(A(C)(D)))."""
+    root = build_tree(("A", [("B", []), ("C", [("A", [("C", []), ("D", [])])])]))
+    return ParseTree(root, tid=0)

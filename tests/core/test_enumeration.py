@@ -1,0 +1,102 @@
+"""Unit tests for subtree enumeration (index key extraction)."""
+
+from __future__ import annotations
+
+from collections import Counter
+from math import comb
+
+import pytest
+
+from repro.core.enumeration import (
+    count_subtrees_per_node,
+    enumerate_key_occurrences,
+    enumerate_subtrees,
+    subtree_count_by_root_branching,
+)
+from repro.trees.node import ParseTree, build_tree
+
+
+def _keys(tree: ParseTree, mss: int) -> Counter:
+    return Counter(key for key, _ in enumerate_key_occurrences(tree, mss))
+
+
+class TestEnumerateSubtrees:
+    def test_mss_one_yields_every_node(self, figure4_tree: ParseTree) -> None:
+        subtrees = list(enumerate_subtrees(figure4_tree, 1))
+        assert len(subtrees) == figure4_tree.size()
+        assert all(subtree.size == 1 for subtree in subtrees)
+
+    def test_size_two_subtrees_are_edges(self, figure4_tree: ParseTree) -> None:
+        subtrees = [s for s in enumerate_subtrees(figure4_tree, 2) if s.size == 2]
+        # One subtree of size 2 per edge of the tree.
+        assert len(subtrees) == figure4_tree.size() - 1
+
+    def test_invalid_mss_rejected(self, figure4_tree: ParseTree) -> None:
+        with pytest.raises(ValueError):
+            list(enumerate_subtrees(figure4_tree, 0))
+
+    def test_unique_keys_of_size_two(self, figure4_tree: ParseTree) -> None:
+        # Tree A(B)(C(A(C)(D))): edges A-B, A-C, C-A, A-C (inner), A-D.
+        size_two = {key for key, occ in enumerate_key_occurrences(figure4_tree, 2) if occ.size == 2}
+        assert size_two == {b"A(B)", b"A(C)", b"C(A)", b"A(D)"}
+
+    def test_star_tree_counts_match_binomial(self) -> None:
+        # Root with n-1 leaf children has C(n-1, m-1) subtrees of size m.
+        tree = ParseTree(build_tree(("R", [f"L{i}" for i in range(6)])), tid=0)
+        for size in range(2, 5):
+            count = sum(1 for s in enumerate_subtrees(tree, size) if s.size == size)
+            assert count == comb(6, size - 1)
+
+    def test_chain_tree_counts(self) -> None:
+        # A unary chain of height n has n - m + 1 subtrees of size m.
+        tree = ParseTree(build_tree(("A", [("B", [("C", [("D", [("E", [])])])])])), tid=0)
+        for size in range(1, 6):
+            count = sum(1 for s in enumerate_subtrees(tree, 5) if s.size == size)
+            assert count == 5 - size + 1
+
+    def test_all_subtrees_are_connected_and_rooted(self, paper_tree: ParseTree) -> None:
+        for subtree in enumerate_subtrees(paper_tree, 3):
+            # Every child of an occurrence node is a child of the data node.
+            stack = [subtree]
+            while stack:
+                item = stack.pop()
+                for child in item.children:
+                    assert child.node in item.node.children
+                    stack.append(child)
+
+
+class TestKeyOccurrences:
+    def test_occurrence_codes_are_canonically_ordered(self, paper_tree: ParseTree) -> None:
+        from repro.core.keys import decode_key
+
+        for key, occurrence in enumerate_key_occurrences(paper_tree, 3):
+            assert occurrence.size == decode_key(key).size
+            # The root is canonical position 0 and is the shallowest node.
+            assert occurrence.root.level == min(code.level for code in occurrence.codes)
+            # The root contains every other node of the occurrence.
+            for code in occurrence.codes[1:]:
+                assert occurrence.root.is_ancestor_of(code)
+
+    def test_occurrences_carry_tid(self, paper_tree: ParseTree) -> None:
+        for _, occurrence in enumerate_key_occurrences(paper_tree, 2):
+            assert occurrence.tid == paper_tree.tid
+
+    def test_symmetric_instances_share_key(self) -> None:
+        tree = ParseTree(build_tree(("A", [("B", []), ("C", []), ("B", [])])), tid=0)
+        keys = _keys(tree, 2)
+        assert keys[b"A(B)"] == 2
+        assert keys[b"A(C)"] == 1
+
+
+class TestFigure3Statistics:
+    def test_branching_factor_drives_subtree_count(self, small_corpus) -> None:
+        averages = subtree_count_by_root_branching(list(small_corpus)[:40], sizes=(2, 3))
+        # Nodes with larger branching factors root more subtrees on average.
+        if 1 in averages and 3 in averages:
+            assert averages[3][3] >= averages[1][3]
+
+    def test_count_subtrees_per_node_star(self) -> None:
+        tree = ParseTree(build_tree(("R", [f"L{i}" for i in range(5)])), tid=0)
+        counts = count_subtrees_per_node(tree, sizes=(2, 3))
+        assert counts[5][2] == comb(5, 1)
+        assert counts[5][3] == comb(5, 2)

@@ -1,0 +1,133 @@
+"""Unit and integration tests for the SubtreeIndex."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.coding import RootPosting
+from repro.core.index import IndexMetadata, SubtreeIndex
+from repro.core.stats import IndexStats, count_postings, count_unique_keys
+from repro.corpus.store import Corpus
+from repro.trees.node import ParseTree, build_tree
+
+
+@pytest.fixture()
+def mini_corpus() -> Corpus:
+    trees = [
+        ParseTree(build_tree(("S", [("NP", ["DT", "NN"]), ("VP", ["VBZ"])])), tid=0),
+        ParseTree(build_tree(("S", [("NP", ["NN"]), ("VP", ["VBZ", ("NP", ["DT", "NN"])])])), tid=1),
+        ParseTree(build_tree(("NP", ["DT", "JJ", "NN"])), tid=2),
+    ]
+    return Corpus(trees)
+
+
+class TestBuildAndOpen:
+    @pytest.mark.parametrize("coding", ["filter", "root-split", "subtree-interval"])
+    def test_build_and_reopen(self, tmp_path, mini_corpus: Corpus, coding: str) -> None:
+        path = str(tmp_path / f"{coding}.si")
+        index = SubtreeIndex.build(mini_corpus, mss=3, coding=coding, path=path)
+        assert index.metadata.tree_count == 3
+        assert index.key_count > 0
+        index.close()
+
+        reopened = SubtreeIndex.open(path)
+        assert reopened.metadata.mss == 3
+        assert reopened.metadata.coding == coding
+        assert reopened.key_count == index.key_count
+        reopened.close()
+
+    def test_open_non_index_rejected(self, tmp_path) -> None:
+        from repro.storage.bptree import BPlusTree
+
+        path = str(tmp_path / "plain.bpt")
+        tree = BPlusTree(path)
+        tree.insert(b"key", b"value")
+        tree.close()
+        with pytest.raises(ValueError):
+            SubtreeIndex.open(path)
+
+    def test_metadata_round_trip(self) -> None:
+        metadata = IndexMetadata(3, "root-split", 10, 100, 500, 1.5)
+        assert IndexMetadata.from_json(metadata.to_json()) == metadata
+
+
+class TestLookup:
+    def test_single_node_key(self, tmp_path, mini_corpus: Corpus) -> None:
+        index = SubtreeIndex.build(mini_corpus, mss=2, coding="root-split", path=str(tmp_path / "i.si"))
+        postings = index.lookup(b"NP")
+        assert {posting.tid for posting in postings} == {0, 1, 2}
+        assert all(isinstance(posting, RootPosting) for posting in postings)
+
+    def test_structured_key(self, tmp_path, mini_corpus: Corpus) -> None:
+        index = SubtreeIndex.build(mini_corpus, mss=3, coding="filter", path=str(tmp_path / "i.si"))
+        postings = index.lookup(b"NP(DT)(NN)")
+        assert [posting.tid for posting in postings] == [0, 1, 2]
+
+    def test_lookup_accepts_node_and_string(self, tmp_path, mini_corpus: Corpus) -> None:
+        index = SubtreeIndex.build(mini_corpus, mss=3, coding="filter", path=str(tmp_path / "i.si"))
+        node_key = build_tree(("NP", ["NN", "DT"]))  # unordered: canonicalises to NP(DT)(NN)
+        assert index.lookup(node_key) == index.lookup("NP(DT)(NN)") == index.lookup(b"NP(DT)(NN)")
+
+    def test_missing_key_gives_empty_list(self, tmp_path, mini_corpus: Corpus) -> None:
+        index = SubtreeIndex.build(mini_corpus, mss=2, coding="root-split", path=str(tmp_path / "i.si"))
+        assert index.lookup(b"QP(CD)") == []
+        assert not index.has_key(b"QP(CD)")
+
+    def test_posting_lists_sorted_by_tid(self, tmp_path, mini_corpus: Corpus) -> None:
+        index = SubtreeIndex.build(mini_corpus, mss=3, coding="subtree-interval", path=str(tmp_path / "i.si"))
+        for _, postings in index.items():
+            tids = [posting.tid for posting in postings]
+            assert tids == sorted(tids)
+
+    def test_keys_larger_than_mss_not_indexed(self, tmp_path, mini_corpus: Corpus) -> None:
+        index = SubtreeIndex.build(mini_corpus, mss=2, coding="filter", path=str(tmp_path / "i.si"))
+        for key in index.keys():
+            assert key.size <= 2
+
+
+class TestCounts:
+    def test_posting_count_matches_metadata(self, tmp_path, mini_corpus: Corpus) -> None:
+        index = SubtreeIndex.build(mini_corpus, mss=3, coding="root-split", path=str(tmp_path / "i.si"))
+        actual = sum(len(postings) for _, postings in index.items())
+        assert actual == index.posting_count
+
+    def test_key_count_matches_iteration(self, tmp_path, mini_corpus: Corpus) -> None:
+        index = SubtreeIndex.build(mini_corpus, mss=3, coding="filter", path=str(tmp_path / "i.si"))
+        assert sum(1 for _ in index.keys()) == index.key_count
+
+    def test_stats_of(self, tmp_path, mini_corpus: Corpus) -> None:
+        index = SubtreeIndex.build(mini_corpus, mss=2, coding="filter", path=str(tmp_path / "i.si"))
+        stats = IndexStats.of(index)
+        assert stats.size_bytes == index.size_bytes()
+        assert stats.key_count == index.key_count
+        assert stats.coding == "filter"
+
+    def test_count_unique_keys_monotone_in_mss(self, mini_corpus: Corpus) -> None:
+        counts = count_unique_keys(mini_corpus, [1, 2, 3, 4])
+        assert counts[1] <= counts[2] <= counts[3] <= counts[4]
+
+    def test_count_postings_ordering(self, mini_corpus: Corpus) -> None:
+        totals = count_postings(mini_corpus, mss=3, coding_names=["filter", "root-split", "subtree-interval"])
+        # Filter-based has the fewest postings, subtree interval the most.
+        assert totals["filter"] <= totals["root-split"] <= totals["subtree-interval"]
+
+
+class TestCrossCodingInvariants:
+    def test_same_keys_for_all_codings(self, tmp_path, mini_corpus: Corpus) -> None:
+        paths = {name: str(tmp_path / f"{name}.si") for name in ["filter", "root-split", "subtree-interval"]}
+        indexes = {
+            name: SubtreeIndex.build(mini_corpus, mss=3, coding=name, path=path)
+            for name, path in paths.items()
+        }
+        key_sets = {name: {str(key) for key in index.keys()} for name, index in indexes.items()}
+        assert key_sets["filter"] == key_sets["root-split"] == key_sets["subtree-interval"]
+
+    def test_index_size_ordering(self, tmp_path, small_corpus) -> None:
+        """Figure 8's qualitative claim: filter < root-split < subtree interval."""
+        trees = list(small_corpus)[:60]
+        sizes = {}
+        for name in ["filter", "root-split", "subtree-interval"]:
+            index = SubtreeIndex.build(trees, mss=3, coding=name, path=str(tmp_path / f"{name}.si"))
+            sizes[name] = index.size_bytes()
+            index.close()
+        assert sizes["filter"] <= sizes["root-split"] <= sizes["subtree-interval"]

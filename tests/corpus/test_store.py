@@ -1,0 +1,94 @@
+"""Unit tests for the corpus containers and the on-disk data file."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.corpus.generator import generate_corpus
+from repro.corpus.store import Corpus, TreeStore
+from repro.trees.node import ParseTree
+from repro.trees.penn import parse_penn
+
+
+class TestCorpus:
+    def test_add_assigns_sequential_tids(self) -> None:
+        corpus = Corpus()
+        corpus.add(ParseTree(parse_penn("(NP (NN a))")))
+        corpus.add(ParseTree(parse_penn("(NP (NN b))")))
+        assert corpus.tids() == [0, 1]
+
+    def test_duplicate_tid_rejected(self) -> None:
+        corpus = Corpus()
+        corpus.add(ParseTree(parse_penn("(NP (NN a))"), tid=5))
+        with pytest.raises(ValueError):
+            corpus.add(ParseTree(parse_penn("(NP (NN b))"), tid=5))
+
+    def test_get_and_contains(self) -> None:
+        corpus = Corpus(generate_corpus(5, seed=0))
+        assert 3 in corpus
+        assert corpus.get(3).tid == 3
+        with pytest.raises(KeyError):
+            corpus.get(99)
+
+    def test_round_trip_through_penn_lines(self) -> None:
+        corpus = Corpus(generate_corpus(8, seed=1))
+        rebuilt = Corpus.from_penn_lines(corpus.to_penn_lines())
+        assert len(rebuilt) == len(corpus)
+        for original, copy in zip(corpus, rebuilt):
+            assert original.root.structurally_equal(copy.root)
+
+    def test_save_and_load(self, tmp_path) -> None:
+        corpus = Corpus(generate_corpus(6, seed=2))
+        path = tmp_path / "corpus.penn"
+        corpus.save(path)
+        loaded = Corpus.load(path)
+        assert len(loaded) == 6
+        assert loaded.get(0).root.structurally_equal(corpus.get(0).root)
+
+    def test_total_nodes(self) -> None:
+        corpus = Corpus(generate_corpus(4, seed=3))
+        assert corpus.total_nodes() == sum(tree.size() for tree in corpus)
+
+
+class TestTreeStore:
+    def test_append_and_get(self, tmp_path) -> None:
+        store = TreeStore(tmp_path / "data.bin")
+        tree = ParseTree(parse_penn("(NP (DT the) (NN dog))"), tid=3)
+        store.append(tree)
+        fetched = store.get(3)
+        assert fetched.tid == 3
+        assert fetched.root.structurally_equal(tree.root)
+
+    def test_missing_tid_raises(self, tmp_path) -> None:
+        store = TreeStore(tmp_path / "data.bin")
+        with pytest.raises(KeyError):
+            store.get(1)
+
+    def test_build_and_reopen(self, tmp_path) -> None:
+        path = tmp_path / "data.bin"
+        corpus = generate_corpus(10, seed=4)
+        store = TreeStore.build(path, corpus)
+        store.close()
+        reopened = TreeStore(path)
+        assert len(reopened) == 10
+        assert set(reopened.tids()) == set(range(10))
+        assert reopened.get(7).root.structurally_equal(corpus[7].root)
+        reopened.close()
+
+    def test_get_many(self, tmp_path) -> None:
+        corpus = generate_corpus(5, seed=5)
+        store = TreeStore.build(tmp_path / "data.bin", corpus)
+        fetched = store.get_many([4, 0, 2])
+        assert sorted(tree.tid for tree in fetched) == [0, 2, 4]
+
+    def test_size_bytes_grows(self, tmp_path) -> None:
+        store = TreeStore(tmp_path / "data.bin")
+        empty = store.size_bytes()
+        store.append(ParseTree(parse_penn("(NP (NN a))"), tid=0))
+        assert store.size_bytes() > empty
+
+    def test_context_manager(self, tmp_path) -> None:
+        with TreeStore(tmp_path / "data.bin") as store:
+            store.append(ParseTree(parse_penn("(NP (NN a))"), tid=0))
+        # Closed cleanly; reopening still works.
+        assert len(TreeStore(tmp_path / "data.bin")) == 1

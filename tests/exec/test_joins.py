@@ -1,0 +1,84 @@
+"""Unit tests for the structural join primitives."""
+
+from __future__ import annotations
+
+from hypothesis import given, strategies as st
+
+from repro.exec.joins import (
+    deduplicate_rows,
+    group_rows_by_tid,
+    intersect_sorted_tid_lists,
+    merge_join_bindings,
+    mpmg_join_codes,
+)
+from repro.trees.numbering import IntervalCode
+
+
+class TestIntersection:
+    def test_basic(self) -> None:
+        assert intersect_sorted_tid_lists([[1, 3, 5, 7], [3, 5, 9], [2, 3, 5]]) == [3, 5]
+
+    def test_empty_inputs(self) -> None:
+        assert intersect_sorted_tid_lists([]) == []
+        assert intersect_sorted_tid_lists([[1, 2], []]) == []
+
+    def test_single_list(self) -> None:
+        assert intersect_sorted_tid_lists([[1, 2, 3]]) == [1, 2, 3]
+
+    def test_disjoint(self) -> None:
+        assert intersect_sorted_tid_lists([[1, 2], [3, 4]]) == []
+
+    @given(st.lists(st.sets(st.integers(min_value=0, max_value=50)), min_size=1, max_size=4))
+    def test_matches_set_intersection(self, groups: list[set[int]]) -> None:
+        lists = [sorted(group) for group in groups]
+        expected = sorted(set.intersection(*groups)) if groups else []
+        assert intersect_sorted_tid_lists(lists) == expected
+
+
+class TestMergeJoinBindings:
+    def test_joins_on_shared_tid_only(self) -> None:
+        left = [(1, {0: IntervalCode(1, 5, 0)}), (2, {0: IntervalCode(1, 7, 0)})]
+        right = [(2, {1: IntervalCode(2, 3, 1)}), (3, {1: IntervalCode(2, 2, 1)})]
+        rows = merge_join_bindings(left, right, lambda a, b: True)
+        assert [tid for tid, _ in rows] == [2]
+        assert rows[0][1] == {0: IntervalCode(1, 7, 0), 1: IntervalCode(2, 3, 1)}
+
+    def test_predicate_filters_pairs(self) -> None:
+        left = [(1, {0: IntervalCode(1, 10, 0)}), (1, {0: IntervalCode(5, 4, 2)})]
+        right = [(1, {1: IntervalCode(2, 3, 1)})]
+        rows = merge_join_bindings(
+            left, right, lambda a, b: a[0].is_ancestor_of(b[1])
+        )
+        assert len(rows) == 1
+        assert rows[0][1][0].pre == 1
+
+    def test_group_rows_by_tid(self) -> None:
+        rows = [(1, {"a": 1}), (1, {"a": 2}), (4, {"a": 3})]
+        grouped = list(group_rows_by_tid(rows))
+        assert [tid for tid, _ in grouped] == [1, 4]
+        assert len(grouped[0][1]) == 2
+
+    def test_deduplicate_rows(self) -> None:
+        code = IntervalCode(1, 2, 0)
+        rows = [(1, {0: code}), (1, {0: code}), (2, {0: code})]
+        assert len(deduplicate_rows(rows)) == 2
+
+
+class TestMPMGJoin:
+    def test_ancestor_descendant(self) -> None:
+        ancestors = [(1, IntervalCode(1, 10, 0)), (1, IntervalCode(2, 4, 1))]
+        descendants = [(1, IntervalCode(3, 2, 2)), (1, IntervalCode(6, 6, 1))]
+        results = mpmg_join_codes(ancestors, descendants, axis="//")
+        pairs = {(a.pre, d.pre) for _, a, d in results}
+        assert pairs == {(1, 3), (2, 3), (1, 6)}
+
+    def test_parent_child_restricts_level(self) -> None:
+        ancestors = [(1, IntervalCode(1, 10, 0))]
+        descendants = [(1, IntervalCode(2, 4, 1)), (1, IntervalCode(3, 2, 2))]
+        results = mpmg_join_codes(ancestors, descendants, axis="/")
+        assert {(a.pre, d.pre) for _, a, d in results} == {(1, 2)}
+
+    def test_different_trees_never_join(self) -> None:
+        ancestors = [(1, IntervalCode(1, 10, 0))]
+        descendants = [(2, IntervalCode(2, 4, 1))]
+        assert mpmg_join_codes(ancestors, descendants, axis="//") == []

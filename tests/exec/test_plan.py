@@ -1,0 +1,127 @@
+"""Unit tests for join planning: binding relations, predicates and join order."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.coding.base import Occurrence
+from repro.coding.root_split import RootSplitCoding
+from repro.coding.subtree_interval import SubtreeIntervalCoding
+from repro.exec.plan import JoinPredicate, build_plan
+from repro.query.decompose import min_rc, optimal_cover
+from repro.query.parser import parse_query
+from repro.trees.numbering import IntervalCode
+
+
+def _occurrence(tid: int, codes: list[tuple[int, int, int]]) -> Occurrence:
+    return Occurrence(tid=tid, codes=tuple(IntervalCode(*code) for code in codes))
+
+
+class TestJoinPredicate:
+    def test_equal(self) -> None:
+        predicate = JoinPredicate("equal", 1, 1)
+        assert predicate.holds(IntervalCode(3, 8, 1), IntervalCode(3, 8, 1))
+        assert not predicate.holds(IntervalCode(3, 8, 1), IntervalCode(4, 2, 2))
+
+    def test_child(self) -> None:
+        predicate = JoinPredicate("child", 0, 1)
+        parent = IntervalCode(1, 10, 0)
+        child = IntervalCode(2, 5, 1)
+        grandchild = IntervalCode(3, 2, 2)
+        assert predicate.holds(parent, child)
+        assert not predicate.holds(parent, grandchild)
+        assert not predicate.holds(child, parent)
+
+    def test_descendant(self) -> None:
+        predicate = JoinPredicate("descendant", 0, 1)
+        assert predicate.holds(IntervalCode(1, 10, 0), IntervalCode(3, 2, 2))
+        assert not predicate.holds(IntervalCode(3, 2, 2), IntervalCode(1, 10, 0))
+
+
+class TestBuildPlan:
+    def _root_split_plan(self, text: str, mss: int = 2):
+        query = parse_query(text)
+        cover = min_rc(query, mss)
+        coding = RootSplitCoding()
+        postings = [
+            coding.postings_from_occurrences([_occurrence(1, [(i + 1, 10 - i, i)])])
+            for i, _ in enumerate(cover.subtrees)
+        ]
+        return query, cover, build_plan(query, cover, postings, coding)
+
+    def test_relations_match_cover(self) -> None:
+        _, cover, plan = self._root_split_plan("S(NP(DT))(VP)")
+        assert len(plan.relations) == len(cover.subtrees)
+        assert plan.join_count == len(cover.subtrees) - 1
+
+    def test_root_split_relations_bind_only_roots(self) -> None:
+        _, cover, plan = self._root_split_plan("S(NP(DT)(NN))(VP(VBZ))", mss=2)
+        for relation, subtree in zip(plan.relations, cover.subtrees):
+            assert relation.bound_nodes == {subtree.root.node_id}
+
+    def test_subtree_interval_relations_bind_all_nodes(self) -> None:
+        query = parse_query("NP(DT)(NN)")
+        cover = optimal_cover(query, 3)
+        coding = SubtreeIntervalCoding()
+        postings = [
+            coding.postings_from_occurrences(
+                [_occurrence(1, [(1, 5, 0), (2, 1, 1), (3, 4, 1)])]
+            )
+        ]
+        plan = build_plan(query, cover, postings, coding)
+        assert plan.relations[0].bound_nodes == {0, 1, 2}
+
+    def test_every_query_edge_between_bound_nodes_has_a_predicate(self) -> None:
+        query, cover, plan = self._root_split_plan("S(NP(DT)(NN))(VP(VBZ))", mss=2)
+        bound = set()
+        for relation in plan.relations:
+            bound |= relation.bound_nodes
+        predicate_pairs = {
+            (predicate.ancestor_node, predicate.descendant_node)
+            for predicate in plan.predicates
+            if predicate.kind in ("child", "descendant")
+        }
+        for parent, child, _ in query.edges():
+            if parent.node_id in bound and child.node_id in bound:
+                assert (parent.node_id, child.node_id) in predicate_pairs
+
+    def test_descendant_axis_produces_descendant_predicate(self) -> None:
+        query = parse_query("S(NP(//NN))")
+        cover = min_rc(query, 3)
+        coding = RootSplitCoding()
+        postings = [
+            coding.postings_from_occurrences([_occurrence(1, [(i + 1, 9 - i, i)])])
+            for i, _ in enumerate(cover.subtrees)
+        ]
+        plan = build_plan(query, cover, postings, coding)
+        kinds = {predicate.kind for predicate in plan.predicates}
+        assert "descendant" in kinds
+
+    def test_join_order_starts_with_smallest_relation(self) -> None:
+        query = parse_query("S(NP)(VP)")
+        cover = min_rc(query, 1, pad=False)
+        coding = RootSplitCoding()
+        postings = []
+        for index, _ in enumerate(cover.subtrees):
+            count = 5 - index  # later subtrees get shorter posting lists
+            postings.append(
+                coding.postings_from_occurrences(
+                    [_occurrence(tid, [(tid + index, 20, index)]) for tid in range(count)]
+                )
+            )
+        plan = build_plan(query, cover, postings, coding)
+        first = plan.order[0]
+        assert plan.relations[first].cardinality == min(r.cardinality for r in plan.relations)
+
+    def test_order_keeps_connectivity(self) -> None:
+        query, cover, plan = self._root_split_plan("S(NP(DT)(NN))(VP(VBZ)(NP))", mss=2)
+        seen = set(plan.relations[plan.order[0]].bound_nodes)
+        for index in plan.order[1:]:
+            nodes = plan.relations[index].bound_nodes
+            connected = bool(seen & nodes) or any(
+                (p.ancestor_node in seen and p.descendant_node in nodes)
+                or (p.descendant_node in seen and p.ancestor_node in nodes)
+                for p in plan.predicates
+            )
+            assert connected
+            seen |= nodes

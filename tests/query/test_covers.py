@@ -1,0 +1,163 @@
+"""Unit tests for cover data structures and predicates."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.query.covers import (
+    Cover,
+    CoverSubtree,
+    has_deep_branching_anomaly,
+    is_node_cover,
+    is_root_split_cover,
+    is_valid_cover,
+    make_subtree,
+)
+from repro.query.parser import parse_query
+
+
+class TestCoverSubtree:
+    def test_key_of_simple_subtree(self) -> None:
+        query = parse_query("NP(NN)(DT)")
+        subtree = make_subtree(query.root, query.nodes())
+        key, positions = subtree.key()
+        assert key == b"NP(DT)(NN)"
+        # Canonical order: NP, DT, NN -> positions follow the sorted children.
+        assert positions[query.root.node_id] == 0
+        assert positions[query.node(2).node_id] == 1  # DT
+        assert positions[query.node(1).node_id] == 2  # NN
+
+    def test_size_and_contains(self) -> None:
+        query = parse_query("S(NP(DT))(VP)")
+        subtree = make_subtree(query.root, [query.root, query.node(1)])
+        assert subtree.size == 2
+        assert subtree.contains(query.node(1))
+        assert not subtree.contains(query.node(3))
+
+    def test_disconnected_subtree_rejected(self) -> None:
+        query = parse_query("S(NP(DT))(VP)")
+        # S and DT without NP in between is not connected.
+        subtree = make_subtree(query.root, [query.root, query.node(2)])
+        with pytest.raises(ValueError):
+            subtree.validate()
+
+    def test_descendant_edge_not_part_of_key(self) -> None:
+        query = parse_query("S(//NN)")
+        subtree = make_subtree(query.root, query.nodes())
+        with pytest.raises(ValueError):
+            subtree.validate()
+
+    def test_query_nodes_listing(self) -> None:
+        query = parse_query("NP(DT)(NN)")
+        subtree = make_subtree(query.root, query.nodes())
+        assert {node.label for node in subtree.query_nodes()} == {"NP", "DT", "NN"}
+
+
+class TestCoverPredicates:
+    def test_node_cover_detection(self) -> None:
+        query = parse_query("S(NP)(VP)")
+        full = Cover(query, [make_subtree(query.root, query.nodes())])
+        partial = Cover(query, [make_subtree(query.root, [query.root, query.node(1)])])
+        assert is_node_cover(full)
+        assert not is_node_cover(partial)
+
+    def test_valid_cover_respects_mss(self) -> None:
+        query = parse_query("S(NP)(VP)")
+        cover = Cover(query, [make_subtree(query.root, query.nodes())])
+        assert is_valid_cover(cover, mss=3)
+        assert not is_valid_cover(cover, mss=2)
+
+    def test_root_split_cover_same_root(self) -> None:
+        query = parse_query("S(NP)(VP)")
+        cover = Cover(
+            query,
+            [
+                make_subtree(query.root, [query.root, query.node(1)]),
+                make_subtree(query.root, [query.root, query.node(2)]),
+            ],
+        )
+        assert is_root_split_cover(cover)
+
+    def test_root_split_cover_parent_child_roots(self) -> None:
+        query = parse_query("S(NP(DT)(NN))")
+        cover = Cover(
+            query,
+            [
+                make_subtree(query.root, [query.root, query.node(1)]),
+                make_subtree(query.node(1), [query.node(1), query.node(2), query.node(3)]),
+            ],
+        )
+        assert is_root_split_cover(cover)
+
+    def test_non_root_split_cover(self) -> None:
+        query = parse_query("S(NP(DT(the)))")
+        # Roots S and DT are neither equal nor in a parent-child relation.
+        cover = Cover(
+            query,
+            [
+                make_subtree(query.root, [query.root, query.node(1)]),
+                make_subtree(query.node(2), [query.node(2), query.node(3)]),
+            ],
+        )
+        assert not is_root_split_cover(cover)
+
+    def test_single_subtree_cover_is_root_split(self) -> None:
+        query = parse_query("S(NP)(VP)")
+        cover = Cover(query, [make_subtree(query.root, query.nodes())])
+        assert is_root_split_cover(cover)
+
+    def test_join_count(self) -> None:
+        query = parse_query("S(NP)(VP)")
+        cover = Cover(
+            query,
+            [
+                make_subtree(query.root, [query.root, query.node(1)]),
+                make_subtree(query.root, [query.root, query.node(2)]),
+            ],
+        )
+        assert cover.join_count == 1
+        assert Cover(query, []).join_count == 0
+
+
+class TestDeepBranchingAnomaly:
+    def test_figure5_anomaly(self) -> None:
+        # Query A(B(C(D)(E)(F))), mss = 4, cover {A(B(C(D))), B(C(E)(F))}.
+        query = parse_query("A(B(C(D)(E)(F)))")
+        a, b, c, d, e, f = query.nodes()
+        cover = Cover(
+            query,
+            [
+                make_subtree(a, [a, b, c, d]),
+                make_subtree(b, [b, c, e, f]),
+            ],
+        )
+        assert has_deep_branching_anomaly(cover)
+
+    def test_fixed_cover_has_no_anomaly(self) -> None:
+        query = parse_query("A(B(C(D)(E)(F)))")
+        a, b, c, d, e, f = query.nodes()
+        cover = Cover(
+            query,
+            [
+                make_subtree(a, [a, b, c, d]),
+                make_subtree(b, [b, c, e, f]),
+                make_subtree(c, [c, d, e, f]),
+            ],
+        )
+        # The extra C(D)(E)(F) subtree does not remove the anomalous pair itself.
+        assert has_deep_branching_anomaly(cover)
+        safe = Cover(
+            query,
+            [
+                make_subtree(a, [a, b]),
+                make_subtree(b, [b, c]),
+                make_subtree(c, [c, d, e, f]),
+            ],
+        )
+        assert not has_deep_branching_anomaly(safe)
+
+    def test_shared_root_is_not_anomalous(self) -> None:
+        query = parse_query("NP(DT)(NN)(JJ)")
+        np, dt, nn, jj = query.nodes()
+        cover = Cover(query, [make_subtree(np, [np, dt]), make_subtree(np, [np, nn, jj])])
+        assert not has_deep_branching_anomaly(cover)

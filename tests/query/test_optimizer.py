@@ -1,0 +1,122 @@
+"""Tests for selectivity-aware cover selection (the future-work extension)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.index import SubtreeIndex
+from repro.corpus.generator import CorpusGenerator
+from repro.corpus.store import Corpus
+from repro.exec.executor import QueryExecutor
+from repro.query.covers import is_root_split_cover, is_valid_cover
+from repro.query.optimizer import (
+    OptimizingExecutor,
+    SelectivityCatalog,
+    candidate_covers,
+    choose_cover,
+    estimate_cover_cost,
+)
+from repro.query.parser import parse_query
+
+QUERIES = [
+    "NP(DT)(NN)",
+    "S(NP(DT))(VP(VBZ))",
+    "VP(VBZ)(NP(DT)(JJ)(NN))",
+    "S(NP)(VP(VBD(//NN)))",
+    "PP(IN)(NP)",
+]
+
+
+@pytest.fixture(scope="module")
+def corpus() -> Corpus:
+    return Corpus(CorpusGenerator(seed=77).generate(70))
+
+
+@pytest.fixture(scope="module")
+def indexes(corpus, tmp_path_factory):
+    directory = tmp_path_factory.mktemp("opt")
+    return {
+        coding: SubtreeIndex.build(corpus, mss=3, coding=coding, path=str(directory / f"{coding}.si"))
+        for coding in ("root-split", "subtree-interval")
+    }
+
+
+class TestSelectivityCatalog:
+    def test_lengths_match_index(self, indexes) -> None:
+        index = indexes["root-split"]
+        catalog = SelectivityCatalog(index)
+        assert catalog.posting_list_length(b"NP") == len(index.lookup(b"NP"))
+        assert catalog.posting_list_length(b"ZZTOP") == 0
+
+    def test_memoisation(self, indexes) -> None:
+        catalog = SelectivityCatalog(indexes["root-split"])
+        catalog.posting_list_length(b"NP")
+        catalog.preload([b"VP", b"NN"])
+        assert set(catalog.cached_keys()) >= {b"NP", b"VP", b"NN"}
+
+
+class TestCoverSelection:
+    def test_candidate_covers_respect_coding(self) -> None:
+        query = parse_query("S(NP(DT))(VP)")
+        root_split_candidates = candidate_covers(query, 3, root_split_only=True)
+        general_candidates = candidate_covers(query, 3, root_split_only=False)
+        assert {name for name, _ in root_split_candidates} == {"min-rc", "min-rc/no-pad"}
+        assert len(general_candidates) == 4
+        for _, cover in root_split_candidates:
+            assert is_root_split_cover(cover)
+
+    def test_all_candidates_valid(self, indexes) -> None:
+        for text in QUERIES:
+            query = parse_query(text)
+            for _, cover in candidate_covers(query, 3, root_split_only=False):
+                assert is_valid_cover(cover, 3)
+
+    def test_cost_estimate_sums_posting_lists(self, indexes) -> None:
+        index = indexes["root-split"]
+        catalog = SelectivityCatalog(index)
+        query = parse_query("NP(DT)(NN)")
+        _, cover, cost = choose_cover(catalog, query, 3, root_split_only=True)
+        assert cost == estimate_cover_cost(catalog, cover)
+        assert cost == sum(
+            catalog.posting_list_length(subtree.key_bytes()) for subtree in cover.subtrees
+        )
+
+    def test_chosen_cover_is_cheapest_candidate(self, indexes) -> None:
+        catalog = SelectivityCatalog(indexes["root-split"])
+        for text in QUERIES:
+            query = parse_query(text)
+            name, cover, cost = choose_cover(catalog, query, 3, root_split_only=True)
+            all_costs = [
+                estimate_cover_cost(catalog, candidate)
+                for _, candidate in candidate_covers(query, 3, root_split_only=True)
+            ]
+            assert cost == min(all_costs)
+
+
+class TestOptimizingExecutor:
+    @pytest.mark.parametrize("coding", ["root-split", "subtree-interval"])
+    def test_results_match_plain_executor(self, corpus, indexes, coding) -> None:
+        plain = QueryExecutor(indexes[coding], store=corpus)
+        optimizing = OptimizingExecutor(indexes[coding], store=corpus)
+        for text in QUERIES:
+            query = parse_query(text)
+            assert (
+                optimizing.execute(query).matches_per_tree
+                == plain.execute(query).matches_per_tree
+            ), text
+
+    def test_records_chosen_strategy(self, corpus, indexes) -> None:
+        executor = OptimizingExecutor(indexes["root-split"], store=corpus)
+        executor.execute(parse_query("S(NP(DT))(VP(VBZ))"))
+        assert executor.last_strategy in {"min-rc", "min-rc/no-pad"}
+        assert executor.last_estimated_cost is not None and executor.last_estimated_cost >= 0
+
+    def test_optimizer_never_costs_more_than_default_cover(self, indexes) -> None:
+        index = indexes["root-split"]
+        catalog = SelectivityCatalog(index)
+        executor = OptimizingExecutor(index)
+        for text in QUERIES:
+            query = parse_query(text)
+            chosen = executor.decompose(query)
+            default = QueryExecutor(index).decompose(query)
+            assert estimate_cover_cost(catalog, chosen) <= estimate_cover_cost(catalog, default)

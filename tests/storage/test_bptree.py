@@ -1,0 +1,201 @@
+"""Unit and property tests for the disk B+Tree."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.storage.bptree import BPlusTree, BPlusTreeError
+
+
+def _make(tmp_path, name: str = "tree.bpt", page_size: int = 4096) -> BPlusTree:
+    return BPlusTree(str(tmp_path / name), page_size=page_size)
+
+
+class TestBasicOperations:
+    def test_empty_tree(self, tmp_path) -> None:
+        tree = _make(tmp_path)
+        assert len(tree) == 0
+        assert tree.get(b"missing") is None
+        assert list(tree.items()) == []
+
+    def test_insert_and_get(self, tmp_path) -> None:
+        tree = _make(tmp_path)
+        tree.insert(b"alpha", b"1")
+        tree.insert(b"beta", b"2")
+        assert tree.get(b"alpha") == b"1"
+        assert tree.get(b"beta") == b"2"
+        assert len(tree) == 2
+
+    def test_insert_replaces_existing(self, tmp_path) -> None:
+        tree = _make(tmp_path)
+        tree.insert(b"key", b"old")
+        tree.insert(b"key", b"new")
+        assert tree.get(b"key") == b"new"
+        assert len(tree) == 1
+
+    def test_contains(self, tmp_path) -> None:
+        tree = _make(tmp_path)
+        tree.insert(b"present", b"x")
+        assert b"present" in tree
+        assert b"absent" not in tree
+
+    def test_non_bytes_key_rejected(self, tmp_path) -> None:
+        tree = _make(tmp_path)
+        with pytest.raises(TypeError):
+            tree.insert("string", b"x")  # type: ignore[arg-type]
+
+
+class TestSplitsAndOrdering:
+    def test_many_inserts_cause_splits(self, tmp_path) -> None:
+        tree = _make(tmp_path, page_size=512)
+        items = {f"key{index:05d}".encode(): f"value{index}".encode() for index in range(500)}
+        for key, value in items.items():
+            tree.insert(key, value)
+        assert tree.height > 1
+        for key, value in items.items():
+            assert tree.get(key) == value
+
+    def test_items_are_sorted(self, tmp_path) -> None:
+        tree = _make(tmp_path, page_size=512)
+        keys = [f"k{index:04d}".encode() for index in range(300)]
+        random.Random(0).shuffle(keys)
+        for key in keys:
+            tree.insert(key, key)
+        listed = [key for key, _ in tree.items()]
+        assert listed == sorted(keys)
+
+    def test_random_insert_order(self, tmp_path) -> None:
+        rng = random.Random(42)
+        pairs = {f"{rng.random():.10f}".encode(): str(index).encode() for index in range(400)}
+        tree = _make(tmp_path, page_size=512)
+        for key, value in pairs.items():
+            tree.insert(key, value)
+        for key, value in pairs.items():
+            assert tree.get(key) == value
+
+
+class TestLargeValues:
+    def test_overflow_values_round_trip(self, tmp_path) -> None:
+        tree = _make(tmp_path)
+        big = bytes(range(256)) * 200  # ~51 KB, far above a page
+        tree.insert(b"big", big)
+        tree.insert(b"small", b"tiny")
+        assert tree.get(b"big") == big
+        assert tree.get(b"small") == b"tiny"
+
+    def test_multiple_overflow_values(self, tmp_path) -> None:
+        tree = _make(tmp_path)
+        values = {f"key{i}".encode(): bytes([i]) * (5000 + i * 1000) for i in range(8)}
+        for key, value in values.items():
+            tree.insert(key, value)
+        for key, value in values.items():
+            assert tree.get(key) == value
+
+    def test_overflow_value_visible_in_items(self, tmp_path) -> None:
+        tree = _make(tmp_path)
+        big = b"z" * 20000
+        tree.insert(b"big", big)
+        assert dict(tree.items())[b"big"] == big
+
+
+class TestPersistence:
+    def test_reopen_preserves_content(self, tmp_path) -> None:
+        path = str(tmp_path / "persist.bpt")
+        tree = BPlusTree(path)
+        for index in range(100):
+            tree.insert(f"key{index:03d}".encode(), f"value{index}".encode())
+        tree.close()
+        reopened = BPlusTree(path)
+        assert len(reopened) == 100
+        assert reopened.get(b"key050") == b"value50"
+        reopened.close()
+
+    def test_bad_magic_rejected(self, tmp_path) -> None:
+        path = tmp_path / "bogus.bpt"
+        path.write_bytes(b"NOTATREE" + b"\x00" * 4088)
+        with pytest.raises(BPlusTreeError):
+            BPlusTree(str(path))
+
+
+class TestScans:
+    def test_prefix_scan(self, tmp_path) -> None:
+        tree = _make(tmp_path)
+        for key in [b"NP", b"NP(DT)", b"NP(DT)(NN)", b"NN", b"VP", b"VP(VBZ)"]:
+            tree.insert(key, key)
+        matches = [key for key, _ in tree.prefix_items(b"NP")]
+        assert matches == [b"NP", b"NP(DT)", b"NP(DT)(NN)"]
+
+    def test_prefix_scan_across_pages(self, tmp_path) -> None:
+        tree = _make(tmp_path, page_size=512)
+        for index in range(300):
+            tree.insert(f"A{index:04d}".encode(), b"x")
+            tree.insert(f"B{index:04d}".encode(), b"x")
+        assert len(list(tree.prefix_items(b"A"))) == 300
+
+    def test_range_scan(self, tmp_path) -> None:
+        tree = _make(tmp_path)
+        for index in range(50):
+            tree.insert(f"{index:03d}".encode(), b"x")
+        keys = [key for key, _ in tree.range_items(b"010", b"020")]
+        assert keys == [f"{index:03d}".encode() for index in range(10, 20)]
+
+
+class TestBulkLoad:
+    def test_bulk_load_round_trip(self, tmp_path) -> None:
+        items = [(f"key{index:05d}".encode(), f"value{index}".encode()) for index in range(1000)]
+        tree = _make(tmp_path, page_size=512)
+        tree.bulk_load(items)
+        assert len(tree) == 1000
+        for key, value in items:
+            assert tree.get(key) == value
+        assert [key for key, _ in tree.items()] == [key for key, _ in items]
+
+    def test_bulk_load_requires_empty_tree(self, tmp_path) -> None:
+        tree = _make(tmp_path)
+        tree.insert(b"a", b"1")
+        with pytest.raises(BPlusTreeError):
+            tree.bulk_load([(b"b", b"2")])
+
+    def test_bulk_load_requires_sorted_unique_keys(self, tmp_path) -> None:
+        tree = _make(tmp_path)
+        with pytest.raises(BPlusTreeError):
+            tree.bulk_load([(b"b", b"1"), (b"a", b"2")])
+        tree2 = _make(tmp_path, "tree2.bpt")
+        with pytest.raises(BPlusTreeError):
+            tree2.bulk_load([(b"a", b"1"), (b"a", b"2")])
+
+    def test_bulk_load_with_large_values(self, tmp_path) -> None:
+        items = [(f"k{index:02d}".encode(), bytes([index]) * 9000) for index in range(20)]
+        tree = _make(tmp_path)
+        tree.bulk_load(items)
+        for key, value in items:
+            assert tree.get(key) == value
+
+    def test_bulk_then_insert(self, tmp_path) -> None:
+        tree = _make(tmp_path)
+        tree.bulk_load([(f"k{index:03d}".encode(), b"v") for index in range(100)])
+        tree.insert(b"zzz", b"new")
+        assert tree.get(b"zzz") == b"new"
+        assert len(tree) == 101
+
+
+@settings(max_examples=25, deadline=None, suppress_health_check=[HealthCheck.function_scoped_fixture])
+@given(
+    entries=st.dictionaries(
+        st.binary(min_size=1, max_size=40), st.binary(max_size=200), max_size=200
+    )
+)
+def test_bptree_behaves_like_a_dict(tmp_path_factory, entries: dict) -> None:
+    """Property: after arbitrary inserts, the tree matches an in-memory dict."""
+    directory = tmp_path_factory.mktemp("bpt")
+    tree = BPlusTree(str(directory / "prop.bpt"), page_size=512)
+    for key, value in entries.items():
+        tree.insert(key, value)
+    assert len(tree) == len(entries)
+    for key, value in entries.items():
+        assert tree.get(key) == value
+    assert [key for key, _ in tree.items()] == sorted(entries)
+    tree.close()

@@ -1,0 +1,101 @@
+"""Unit and property tests for the binary codecs."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.storage.codec import (
+    decode_delta_list,
+    decode_length_prefixed,
+    decode_uint32_list,
+    decode_varint,
+    decode_varint_list,
+    encode_delta_list,
+    encode_length_prefixed,
+    encode_uint32_list,
+    encode_varint,
+    encode_varint_list,
+)
+
+
+class TestVarint:
+    @pytest.mark.parametrize("value", [0, 1, 127, 128, 255, 300, 2**20, 2**40])
+    def test_round_trip(self, value: int) -> None:
+        encoded = encode_varint(value)
+        decoded, offset = decode_varint(encoded)
+        assert decoded == value
+        assert offset == len(encoded)
+
+    def test_negative_rejected(self) -> None:
+        with pytest.raises(ValueError):
+            encode_varint(-1)
+
+    def test_truncated_rejected(self) -> None:
+        with pytest.raises(ValueError):
+            decode_varint(b"\x80")
+
+    def test_small_values_are_one_byte(self) -> None:
+        assert len(encode_varint(0)) == 1
+        assert len(encode_varint(127)) == 1
+        assert len(encode_varint(128)) == 2
+
+    @given(st.integers(min_value=0, max_value=2**62))
+    def test_round_trip_property(self, value: int) -> None:
+        decoded, _ = decode_varint(encode_varint(value))
+        assert decoded == value
+
+    @given(st.lists(st.integers(min_value=0, max_value=2**32), max_size=50))
+    def test_list_round_trip_property(self, values: list[int]) -> None:
+        data = encode_varint_list(values)
+        decoded, _ = decode_varint_list(data, len(values))
+        assert decoded == values
+
+
+class TestDeltaList:
+    def test_round_trip(self) -> None:
+        values = [1, 1, 4, 9, 9, 120]
+        decoded, _ = decode_delta_list(encode_delta_list(values))
+        assert decoded == values
+
+    def test_empty(self) -> None:
+        decoded, _ = decode_delta_list(encode_delta_list([]))
+        assert decoded == []
+
+    def test_decreasing_rejected(self) -> None:
+        with pytest.raises(ValueError):
+            encode_delta_list([5, 3])
+
+    @given(st.lists(st.integers(min_value=0, max_value=2**30), max_size=100).map(sorted))
+    def test_round_trip_property(self, values: list[int]) -> None:
+        decoded, _ = decode_delta_list(encode_delta_list(values))
+        assert decoded == values
+
+    def test_compression_beats_fixed_width(self) -> None:
+        values = list(range(0, 4000, 3))
+        assert len(encode_delta_list(values)) < 4 * len(values)
+
+
+class TestOtherCodecs:
+    def test_uint32_round_trip(self) -> None:
+        values = [0, 1, 2**31, 2**32 - 1]
+        assert decode_uint32_list(encode_uint32_list(values)) == values
+
+    def test_uint32_bad_length(self) -> None:
+        with pytest.raises(ValueError):
+            decode_uint32_list(b"\x01\x02\x03")
+
+    def test_length_prefixed_round_trip(self) -> None:
+        payload = b"hello world"
+        decoded, offset = decode_length_prefixed(encode_length_prefixed(payload))
+        assert decoded == payload
+
+    def test_length_prefixed_truncated(self) -> None:
+        encoded = encode_length_prefixed(b"hello")
+        with pytest.raises(ValueError):
+            decode_length_prefixed(encoded[:-2])
+
+    @given(st.binary(max_size=200))
+    def test_length_prefixed_property(self, payload: bytes) -> None:
+        decoded, _ = decode_length_prefixed(encode_length_prefixed(payload))
+        assert decoded == payload

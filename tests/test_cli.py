@@ -1,0 +1,88 @@
+"""End-to-end tests of the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture()
+def corpus_file(tmp_path) -> str:
+    path = str(tmp_path / "corpus.penn")
+    assert main(["generate", "--sentences", "40", "--seed", "3", "--out", path]) == 0
+    return path
+
+
+@pytest.fixture()
+def index_file(tmp_path, corpus_file) -> str:
+    path = str(tmp_path / "corpus.si")
+    assert main(["build", corpus_file, "--mss", "3", "--coding", "root-split", "--out", path]) == 0
+    return path
+
+
+class TestGenerate:
+    def test_generate_writes_corpus(self, tmp_path, capsys) -> None:
+        path = str(tmp_path / "gen.penn")
+        assert main(["generate", "--sentences", "40", "--seed", "3", "--out", path]) == 0
+        assert "40 parse trees" in capsys.readouterr().out
+        with open(path, encoding="utf-8") as handle:
+            lines = [line for line in handle if line.strip()]
+        assert len(lines) == 40
+        assert lines[0].startswith("(ROOT")
+
+    def test_generate_is_deterministic(self, tmp_path) -> None:
+        first = str(tmp_path / "a.penn")
+        second = str(tmp_path / "b.penn")
+        main(["generate", "--sentences", "10", "--seed", "5", "--out", first])
+        main(["generate", "--sentences", "10", "--seed", "5", "--out", second])
+        assert open(first).read() == open(second).read()
+
+
+class TestBuildAndStats:
+    def test_build_reports_counts(self, tmp_path, corpus_file, capsys) -> None:
+        out = str(tmp_path / "counts.si")
+        assert main(["build", corpus_file, "--mss", "2", "--coding", "root-split", "--out", out]) == 0
+        captured = capsys.readouterr()
+        assert "root-split index" in captured.out
+        assert "keys" in captured.out
+
+    def test_stats(self, index_file, capsys) -> None:
+        assert main(["stats", index_file]) == 0
+        captured = capsys.readouterr()
+        assert "coding          : root-split" in captured.out
+        assert "mss             : 3" in captured.out
+
+    def test_stats_top_keys(self, index_file, capsys) -> None:
+        assert main(["stats", index_file, "--top", "5"]) == 0
+        captured = capsys.readouterr()
+        assert "top 5 keys" in captured.out
+
+    @pytest.mark.parametrize("coding", ["filter", "subtree-interval"])
+    def test_build_other_codings(self, tmp_path, corpus_file, coding) -> None:
+        out = str(tmp_path / f"{coding}.si")
+        assert main(["build", corpus_file, "--coding", coding, "--out", out]) == 0
+
+
+class TestQuery:
+    def test_query_returns_matches(self, index_file, capsys) -> None:
+        assert main(["query", index_file, "NP(DT)", "VP(VBZ)"]) == 0
+        captured = capsys.readouterr()
+        assert "NP(DT):" in captured.out
+        assert "matches" in captured.out
+
+    def test_query_show_tids(self, index_file, capsys) -> None:
+        assert main(["query", index_file, "NP", "--show-tids", "--limit", "3"]) == 0
+        captured = capsys.readouterr()
+        assert "tids:" in captured.out
+
+    def test_bad_query_sets_exit_code(self, index_file, capsys) -> None:
+        assert main(["query", index_file, "NP((("]) == 2
+        captured = capsys.readouterr()
+        assert "cannot parse query" in captured.err
+
+    def test_filter_coding_query_uses_data_file(self, tmp_path, corpus_file, capsys) -> None:
+        out = str(tmp_path / "filter.si")
+        main(["build", corpus_file, "--coding", "filter", "--out", out])
+        assert main(["query", out, "S(NP)(VP)"]) == 0
+        assert "matches" in capsys.readouterr().out

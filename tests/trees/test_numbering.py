@@ -1,0 +1,81 @@
+"""Unit tests for the interval numbering scheme."""
+
+from __future__ import annotations
+
+from repro.trees.node import ParseTree, build_tree
+from repro.trees.numbering import IntervalCode, node_records, number_tree
+from repro.trees.penn import parse_penn
+
+
+def _codes_by_label(tree: ParseTree) -> dict:
+    codes = number_tree(tree)
+    return {node.label: codes[id(node)] for node in tree.preorder()}
+
+
+class TestNumberTree:
+    def test_pre_numbers_follow_preorder(self) -> None:
+        tree = ParseTree(build_tree(("S", [("NP", ["DT", "NN"]), ("VP", ["VBZ"])])), tid=0)
+        codes = number_tree(tree)
+        pres = [codes[id(node)].pre for node in tree.preorder()]
+        assert pres == sorted(pres)
+        assert pres[0] == 1
+        assert len(set(pres)) == tree.size()
+
+    def test_post_numbers_are_a_permutation(self) -> None:
+        tree = ParseTree(build_tree(("S", [("NP", ["DT", "NN"]), ("VP", ["VBZ"])])), tid=0)
+        codes = number_tree(tree)
+        posts = sorted(code.post for code in codes.values())
+        assert posts == list(range(1, tree.size() + 1))
+
+    def test_levels(self) -> None:
+        tree = ParseTree(build_tree(("S", [("NP", ["DT", "NN"]), ("VP", ["VBZ"])])), tid=0)
+        by_label = _codes_by_label(tree)
+        assert by_label["S"].level == 0
+        assert by_label["NP"].level == 1
+        assert by_label["DT"].level == 2
+
+    def test_ancestor_relation(self) -> None:
+        tree = ParseTree(parse_penn("(S (NP (DT the) (NN dog)) (VP (VBZ barks)))"), tid=0)
+        by_label = _codes_by_label(tree)
+        assert by_label["S"].is_ancestor_of(by_label["DT"])
+        assert by_label["NP"].is_ancestor_of(by_label["NN"])
+        assert not by_label["NP"].is_ancestor_of(by_label["VBZ"])
+        assert not by_label["DT"].is_ancestor_of(by_label["S"])
+
+    def test_parent_relation(self) -> None:
+        tree = ParseTree(parse_penn("(S (NP (DT the) (NN dog)) (VP (VBZ barks)))"), tid=0)
+        by_label = _codes_by_label(tree)
+        assert by_label["NP"].is_parent_of(by_label["DT"])
+        assert not by_label["S"].is_parent_of(by_label["DT"])
+        assert by_label["S"].is_parent_of(by_label["NP"])
+
+    def test_containment_matches_descendant_sets(self) -> None:
+        tree = ParseTree(parse_penn("(S (NP (DT the) (NN dog)) (VP (VBZ barks) (NP (NNS cats))))"), tid=0)
+        codes = number_tree(tree)
+        for node in tree.preorder():
+            descendants = {id(d) for d in node.descendants()}
+            for other in tree.preorder():
+                expected = id(other) in descendants
+                actual = codes[id(node)].is_ancestor_of(codes[id(other)])
+                assert actual == expected
+
+
+class TestNodeRecords:
+    def test_records_sorted_by_pre(self) -> None:
+        tree = ParseTree(parse_penn("(S (NP (DT the) (NN dog)) (VP (VBZ barks)))"), tid=7)
+        records = node_records(tree)
+        assert [record.pre for record in records] == sorted(record.pre for record in records)
+        assert all(record.tid == 7 for record in records)
+
+    def test_parent_ids(self) -> None:
+        tree = ParseTree(parse_penn("(S (NP (DT the)) (VP (VBZ barks)))"), tid=0)
+        records = {record.label: record for record in node_records(tree)}
+        assert records["S"].parent_id == 0
+        assert records["NP"].parent_id == records["S"].node_id
+        assert records["DT"].parent_id == records["NP"].node_id
+
+    def test_record_code_property(self) -> None:
+        tree = ParseTree(parse_penn("(NP (DT the) (NN dog))"), tid=0)
+        for record in node_records(tree):
+            assert isinstance(record.code, IntervalCode)
+            assert record.code.pre == record.pre

@@ -1,0 +1,71 @@
+"""Unit tests for Penn-bracket parsing and serialisation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.trees.penn import PennSyntaxError, parse_penn, parse_penn_corpus, to_penn
+
+
+class TestParsePenn:
+    def test_simple_tree(self) -> None:
+        tree = parse_penn("(NP (DT the) (NN dog))")
+        assert tree.label == "NP"
+        assert [child.label for child in tree.children] == ["DT", "NN"]
+        assert tree.tokens() == ["the", "dog"]
+
+    def test_nested_tree(self) -> None:
+        tree = parse_penn("(S (NP (NN agouti)) (VP (VBZ is) (NP (DT a) (NN rodent))))")
+        assert tree.size() == 12
+        assert tree.tokens() == ["agouti", "is", "a", "rodent"]
+
+    def test_whitespace_tolerance(self) -> None:
+        tree = parse_penn("  ( NP   ( DT the )\n ( NN dog ) ) ")
+        assert tree.tokens() == ["the", "dog"]
+
+    def test_anonymous_root_wrapper(self) -> None:
+        tree = parse_penn("( (S (NP (NN cats)) (VP (VBP purr))))")
+        assert tree.label == "ROOT"
+        assert tree.children[0].label == "S"
+
+    def test_round_trip(self) -> None:
+        text = "(S (NP (DT the) (NN dog)) (VP (VBZ barks)))"
+        assert to_penn(parse_penn(text)) == text
+
+    def test_pretty_round_trip(self) -> None:
+        text = "(S (NP (DT the) (NN dog)) (VP (VBZ barks) (PP (IN at) (NP (NN cats)))))"
+        pretty = to_penn(parse_penn(text), pretty=True)
+        assert parse_penn(pretty).structurally_equal(parse_penn(text))
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "",
+            "(",
+            ")",
+            "(NP",
+            "(NP (DT the)))",
+            "()",
+            "stray (NP (DT the))extra" + ")",
+        ],
+    )
+    def test_malformed_input_raises(self, bad: str) -> None:
+        with pytest.raises(PennSyntaxError):
+            parse_penn(bad)
+
+    def test_error_reports_position(self) -> None:
+        with pytest.raises(PennSyntaxError) as excinfo:
+            parse_penn("(NP (DT the)")
+        assert excinfo.value.position >= 0
+
+
+class TestParseCorpus:
+    def test_sequential_tids(self) -> None:
+        lines = ["(NP (NN a))", "", "# comment", "(NP (NN b))"]
+        trees = list(parse_penn_corpus(lines))
+        assert [tree.tid for tree in trees] == [0, 1]
+        assert trees[1].tokens() == ["b"]
+
+    def test_start_tid(self) -> None:
+        trees = list(parse_penn_corpus(["(NP (NN a))"], start_tid=100))
+        assert trees[0].tid == 100
