@@ -1,0 +1,32 @@
+"""Serving-layer benchmark: cold vs warm vs hot cache latency through QueryService."""
+
+from __future__ import annotations
+
+from benchmarks.conftest import BASE_SIZES, save_result, scaled
+from repro.bench.experiments import serve_cold_warm
+
+
+def test_serve_cold_vs_warm(benchmark, context, results_dir) -> None:
+    corpus_size = scaled(BASE_SIZES["query_corpus"])
+
+    result = benchmark.pedantic(
+        lambda: serve_cold_warm(context, sentence_count=corpus_size, mss=3),
+        rounds=1,
+        iterations=1,
+    )
+    save_result(results_dir, result, "serve_cold_warm.txt")
+
+    for row in result.as_dicts():
+        # Warm passes skip parse + decomposition + B+Tree descents + posting
+        # decoding, so they should beat the cold pass on every coding.  The
+        # margin is ~1.15-1.2x on a quiet machine and the measurement is a
+        # single round, so allow 10% scheduling noise rather than flaking.
+        assert row["warm_ms_per_query"] < row["cold_ms_per_query"] * 1.10, row
+        # Hot passes answer identical repeats from the result cache without
+        # re-running joins; that layer dominates by orders of magnitude, so
+        # these bounds stay strict.
+        assert row["hot_ms_per_query"] < row["warm_ms_per_query"], row
+        assert row["hot_speedup"] > 5.0, row
+        # With caches larger than the workload's key set, the warm passes are
+        # served almost entirely from memory.
+        assert row["postings_hit_rate"] > 0.5, row

@@ -14,6 +14,8 @@ Syntactically Annotated Trees"*, VLDB 2012.  The package provides:
   decomposition algorithms (:mod:`repro.query`);
 * per-coding query executors built on structural merge joins
   (:mod:`repro.exec`);
+* a caching, batching, thread-safe serving layer over an open index
+  (:mod:`repro.service`);
 * the baselines the paper compares against (:mod:`repro.baselines`);
 * the evaluation workloads and the experiment harness regenerating every
   table and figure of the paper (:mod:`repro.workloads`, :mod:`repro.bench`).
@@ -34,6 +36,7 @@ from repro.core import SubtreeIndex
 from repro.corpus import Corpus, CorpusGenerator, TreeStore, generate_corpus
 from repro.exec import QueryExecutor, QueryResult
 from repro.query import QueryTree, min_rc, optimal_cover, parse_query
+from repro.service import QueryService
 from repro.trees import Node, ParseTree, parse_penn, to_penn
 
 __version__ = "1.0.0"
@@ -62,4 +65,5 @@ __all__ = [
     "min_rc",
     "QueryExecutor",
     "QueryResult",
+    "QueryService",
 ]

@@ -24,6 +24,7 @@ from repro.bench.experiments import (
     figure11_runtime_by_matches,
     figure12_runtime_by_query_size,
     figure13_scalability,
+    serve_cold_warm,
     table1_size_ratio,
     table2_system_comparison,
     table3_join_counts,
@@ -44,4 +45,5 @@ __all__ = [
     "table2_system_comparison",
     "figure13_scalability",
     "table3_join_counts",
+    "serve_cold_warm",
 ]

@@ -16,6 +16,8 @@ Example session::
     python -m repro.cli generate --sentences 1000 --out corpus.penn
     python -m repro.cli build corpus.penn --mss 3 --coding root-split --out corpus.si
     python -m repro.cli query corpus.si "NP(DT)(NN)" "S(NP)(VP(VBZ))"
+    python -m repro.cli query corpus.si "NP(DT)(NN)" --repeat 50 --cache-stats
+    python -m repro.cli query corpus.si "NP(DT)" "NP(DT)(NN)" --batch
     python -m repro.cli stats corpus.si
 """
 
@@ -23,19 +25,16 @@ from __future__ import annotations
 
 import argparse
 import sys
+import time
 from typing import List, Optional, Sequence
 
 from repro.coding.base import coding_names
 from repro.core.index import SubtreeIndex
 from repro.corpus.generator import CorpusGenerator
-from repro.corpus.store import Corpus, TreeStore
-from repro.exec.executor import QueryExecutor
-from repro.query.parser import parse_query
-
-
-def _data_file_path(index_path: str) -> str:
-    """The data-file path conventionally stored next to an index."""
-    return index_path + ".data"
+from repro.corpus.store import Corpus, TreeStore, data_file_path
+from repro.service.service import QueryService
+from repro.storage.bptree import BPlusTreeError
+from repro.storage.pager import PageError
 
 
 # ----------------------------------------------------------------------
@@ -54,7 +53,7 @@ def cmd_build(args: argparse.Namespace) -> int:
     """Build a subtree index over a Penn-bracket corpus file."""
     corpus = Corpus.load(args.corpus)
     index = SubtreeIndex.build(corpus, mss=args.mss, coding=args.coding, path=args.out)
-    TreeStore.build(_data_file_path(args.out), corpus).close()
+    TreeStore.build(data_file_path(args.out), corpus).close()
     print(
         f"built {args.coding} index over {len(corpus)} trees: "
         f"{index.key_count:,} keys, {index.posting_count:,} postings, "
@@ -64,35 +63,91 @@ def cmd_build(args: argparse.Namespace) -> int:
     return 0
 
 
+def _print_result(args: argparse.Namespace, text: str, result, extra: str = "") -> None:
+    print(
+        f"{text}: {result.total_matches} matches in {len(result.matches_per_tree)} trees "
+        f"({result.stats.elapsed_seconds * 1000:.1f} ms, cover={result.stats.cover_size}, "
+        f"joins={result.stats.join_count}{extra})"
+    )
+    if args.show_tids:
+        print("  tids:", ", ".join(str(tid) for tid in result.matched_tids[: args.limit]))
+
+
 def cmd_query(args: argparse.Namespace) -> int:
-    """Run queries against a built index."""
-    index = SubtreeIndex.open(args.index)
-    store = TreeStore(_data_file_path(args.index))
-    executor = QueryExecutor(index, store=store)
+    """Run queries against a built index through the query service."""
+    if args.batch and args.repeat > 1:
+        print("error: --batch and --repeat cannot be combined", file=sys.stderr)
+        return 2
+    try:
+        # With --repeat the point is to measure the plan+posting caches, so
+        # disable the result cache; otherwise every repeat after the first
+        # would be a ~free result-cache hit and "warm" would mean "hot".
+        service = QueryService.open(
+            args.index, result_cache_size=0 if args.repeat > 1 else 1024
+        )
+    except (OSError, ValueError, BPlusTreeError, PageError) as error:
+        print(f"error: cannot open index {args.index!r}: {error}", file=sys.stderr)
+        return 2
+
     status = 0
+    valid: List[str] = []
     for text in args.queries:
         try:
-            query = parse_query(text)
+            service.prepare(text)
         except ValueError as error:
             print(f"error: cannot parse query {text!r}: {error}", file=sys.stderr)
             status = 2
-            continue
-        result = executor.execute(query)
-        print(
-            f"{text}: {result.total_matches} matches in {len(result.matches_per_tree)} trees "
-            f"({result.stats.elapsed_seconds * 1000:.1f} ms, cover={result.stats.cover_size}, "
-            f"joins={result.stats.join_count})"
-        )
-        if args.show_tids:
-            print("  tids:", ", ".join(str(tid) for tid in result.matched_tids[: args.limit]))
-    store.close()
-    index.close()
+        else:
+            valid.append(text)
+
+    try:
+        if args.batch:
+            # One batch: distinct cover keys are fetched from the index once.
+            # Per-query ms covers each join only; the shared prepare+fetch
+            # work is reported in the batch total line below.
+            batch_started = time.perf_counter()
+            results = service.run_many(valid)
+            batch_ms = (time.perf_counter() - batch_started) * 1000
+            for text, result in zip(valid, results):
+                _print_result(args, text, result)
+            print(f"batch: {len(valid)} queries in {batch_ms:.1f} ms total")
+        else:
+            for text in valid:
+                result = service.run(text)
+                if args.repeat > 1:
+                    cold_ms = result.stats.elapsed_seconds * 1000
+                    warm_started = time.perf_counter()
+                    for _ in range(args.repeat - 1):
+                        result = service.run(text)
+                    warm_ms = (time.perf_counter() - warm_started) * 1000 / (args.repeat - 1)
+                    extra = f", cold={cold_ms:.1f} ms, warm avg={warm_ms:.2f} ms x{args.repeat - 1}"
+                    _print_result(args, text, result, extra)
+                else:
+                    _print_result(args, text, result)
+        if args.cache_stats:
+            stats = service.stats()
+            print(
+                f"cache: plans {stats.plans.hits}/{stats.plans.lookups} hits, "
+                f"postings {stats.postings.hits}/{stats.postings.lookups} hits, "
+                f"index probes {stats.probes.gets} "
+                f"({stats.probes.tree_descents} tree descents)"
+            )
+    except RuntimeError as error:
+        # e.g. filter-based coding without its .data file next to the index
+        print(f"error: {error}", file=sys.stderr)
+        status = 2
+    finally:
+        service.close()
     return status
 
 
 def cmd_stats(args: argparse.Namespace) -> int:
     """Print metadata and the largest posting lists of an index."""
-    index = SubtreeIndex.open(args.index)
+    try:
+        index = SubtreeIndex.open(args.index)
+    except (OSError, ValueError, BPlusTreeError, PageError) as error:
+        print(f"error: cannot open index {args.index!r}: {error}", file=sys.stderr)
+        return 2
     meta = index.metadata
     print(f"index file      : {args.index}")
     print(f"coding          : {meta.coding}")
@@ -142,6 +197,18 @@ def build_parser() -> argparse.ArgumentParser:
     query.add_argument("queries", nargs="+", help="queries, e.g. 'NP(DT)(NN)' or 'S//NN'")
     query.add_argument("--show-tids", action="store_true", help="print matching tree ids")
     query.add_argument("--limit", type=int, default=20, help="max tree ids to print")
+    query.add_argument(
+        "--repeat", type=int, default=1,
+        help="run each query N times through the service caches and report cold vs warm latency",
+    )
+    query.add_argument(
+        "--batch", action="store_true",
+        help="evaluate all queries as one batch (distinct cover keys are fetched once)",
+    )
+    query.add_argument(
+        "--cache-stats", action="store_true",
+        help="print plan/posting cache hit rates and index probe counters",
+    )
     query.set_defaults(func=cmd_query)
 
     stats = subparsers.add_parser("stats", help="print statistics of a built index")

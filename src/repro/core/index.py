@@ -11,6 +11,7 @@ a reserved key inside the same file so an index is self-describing.
 from __future__ import annotations
 
 import json
+import os
 import time
 from dataclasses import asdict, dataclass
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
@@ -18,7 +19,7 @@ from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 from repro.coding.base import CodingScheme, get_coding
 from repro.core.enumeration import enumerate_key_occurrences
 from repro.core.keys import SubtreeKey, canonical_key, decode_key
-from repro.storage.bptree import BPlusTree
+from repro.storage.bptree import BPlusTree, ProbeStats, ValueCache
 from repro.trees.node import Node, ParseTree
 
 #: Reserved B+Tree key that stores the index metadata record.
@@ -53,6 +54,13 @@ class SubtreeIndex:
         self._tree = tree
         self.coding = coding
         self.metadata = metadata
+        # Optional read-through cache of *decoded* posting lists installed by
+        # the serving layer; caching above the B+Tree lets repeated lookups
+        # skip both the tree descent and posting decoding.
+        self._postings_cache: Optional[ValueCache] = None
+        #: Lookup counters: ``gets`` per :meth:`lookup`, ``cache_hits`` served
+        #: by the posting cache, ``tree_descents`` answered by the B+Tree.
+        self.probe_stats = ProbeStats()
 
     # ------------------------------------------------------------------
     # Construction
@@ -111,6 +119,9 @@ class SubtreeIndex:
     @classmethod
     def open(cls, path: str) -> "SubtreeIndex":
         """Open an existing index file."""
+        if not os.path.exists(path):
+            # BPlusTree initialises missing files; opening an index must not.
+            raise FileNotFoundError(f"no such index file: {path}")
         btree = BPlusTree(path)
         raw = btree.get(_META_KEY)
         if raw is None:
@@ -135,17 +146,34 @@ class SubtreeIndex:
             return encoded
         raise TypeError(f"unsupported key type {type(key).__name__}")
 
+    #: Sentinel distinguishing "not cached" from a cached empty posting list.
+    _CACHE_MISS = object()
+
     def lookup(self, key: bytes | str | SubtreeKey | Node) -> List[object]:
         """Return the posting list of *key* (empty when the key is not indexed).
 
         *key* may be canonical bytes, a canonical string, a parsed
         :class:`SubtreeKey` or a :class:`~repro.trees.node.Node` subtree; the
         latter two are canonicalised before the lookup.
+
+        With a posting cache attached (:meth:`attach_postings_cache`) the
+        lookup is read-through over *decoded* lists; cached lists are shared
+        between callers and must be treated as read-only.
         """
-        raw = self._tree.get(self._normalise_key(key))
-        if raw is None:
-            return []
-        return self.coding.decode_postings(raw)
+        self.probe_stats.gets += 1
+        encoded = self._normalise_key(key)
+        cache = self._postings_cache
+        if cache is not None:
+            cached = cache.get(encoded, self._CACHE_MISS)
+            if cached is not self._CACHE_MISS:
+                self.probe_stats.cache_hits += 1
+                return cached  # type: ignore[return-value]
+        self.probe_stats.tree_descents += 1
+        raw = self._tree.get(encoded)
+        postings = [] if raw is None else self.coding.decode_postings(raw)
+        if cache is not None:
+            cache.put(encoded, postings)
+        return postings
 
     def has_key(self, key: bytes | str | SubtreeKey | Node) -> bool:
         """``True`` when *key* is present in the index."""
@@ -154,6 +182,32 @@ class SubtreeIndex:
     def posting_list_length(self, key: bytes | str | SubtreeKey | Node) -> int:
         """Length of the posting list of *key* (0 when absent)."""
         return len(self.lookup(key))
+
+    # ------------------------------------------------------------------
+    # Probe accounting and the read-through posting cache
+    # ------------------------------------------------------------------
+    def reset_probe_stats(self) -> ProbeStats:
+        """Zero the lookup counters and return the pre-reset snapshot."""
+        snapshot = self.probe_stats.snapshot()
+        self.probe_stats.reset()
+        return snapshot
+
+    def attach_postings_cache(self, cache: Optional[ValueCache]) -> None:
+        """Install a read-through cache of decoded posting lists.
+
+        The cache sits in front of the B+Tree: repeated lookups of the same
+        key (within and across queries) are answered from memory, skipping
+        both the tree descent and posting decoding.  Pass ``None`` to detach.
+        :class:`repro.service.QueryService` attaches a lock-striped LRU here.
+        (For caching raw values below the decode step, the B+Tree has its own
+        read-through hook: :meth:`repro.storage.bptree.BPlusTree.attach_cache`.)
+        """
+        self._postings_cache = cache
+
+    @property
+    def postings_cache(self) -> Optional[ValueCache]:
+        """The currently attached posting cache, if any."""
+        return self._postings_cache
 
     # ------------------------------------------------------------------
     # Iteration and statistics
@@ -204,7 +258,19 @@ class SubtreeIndex:
         self._tree.flush()
 
     def close(self) -> None:
-        """Close the underlying B+Tree file."""
+        """Close the underlying B+Tree file.
+
+        Any attached posting cache is cleared and detached so a cache object
+        shared with a service cannot serve stale entries once the index is
+        reopened (possibly after a rebuild).
+        """
+        for cache in (self._postings_cache, self._tree.value_cache):
+            if cache is not None:
+                clear = getattr(cache, "clear", None)
+                if clear is not None:
+                    clear()
+        self._postings_cache = None
+        self._tree.attach_cache(None)
         self._tree.close()
 
     def __enter__(self) -> "SubtreeIndex":

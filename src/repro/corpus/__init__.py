@@ -18,9 +18,10 @@ Members
 
 from repro.corpus.generator import CorpusGenerator, generate_corpus
 from repro.corpus.grammar import Grammar, Vocabulary, default_grammar
-from repro.corpus.store import Corpus, TreeStore
+from repro.corpus.store import Corpus, TreeStore, data_file_path
 
 __all__ = [
+    "data_file_path",
     "Grammar",
     "Vocabulary",
     "default_grammar",

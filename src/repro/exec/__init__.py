@@ -5,12 +5,22 @@
   tid-list intersection for the filter-based coding.
 * :mod:`repro.exec.plan` -- join planning: binding maps, join predicates
   derived from the query and the cover, and a greedy connected join order.
-* :mod:`repro.exec.executor` -- the per-coding query executors, including the
-  filtering (post-validation) phase of the filter-based coding, plus the
-  result/statistics containers.
+* :mod:`repro.exec.executor` -- the pipeline stages (``decompose_query``,
+  ``fetch_postings``, ``join_postings``), the one-shot ``QueryExecutor``
+  wrapper around them (including the filtering phase of the filter-based
+  coding) and the result/statistics containers.  The stages are separable so
+  :mod:`repro.service` can cache and batch them independently.
 """
 
-from repro.exec.executor import ExecutionStats, QueryExecutor, QueryResult
+from repro.exec.executor import (
+    ExecutionStats,
+    QueryExecutor,
+    QueryResult,
+    decompose_query,
+    default_strategy,
+    fetch_postings,
+    join_postings,
+)
 from repro.exec.joins import intersect_sorted_tid_lists, merge_join_bindings
 from repro.exec.plan import JoinPlan, build_plan
 
@@ -18,6 +28,10 @@ __all__ = [
     "QueryExecutor",
     "QueryResult",
     "ExecutionStats",
+    "decompose_query",
+    "default_strategy",
+    "fetch_postings",
+    "join_postings",
     "JoinPlan",
     "build_plan",
     "merge_join_bindings",

@@ -17,14 +17,21 @@ root-split
 subtree-interval
     decompose with ``optimalCover``; joins may reference any node stored in a
     posting (all of them), again with no post-validation.
+
+The pipeline is exposed as three separable stages -- :func:`decompose_query`,
+:func:`fetch_postings` and :func:`join_postings` -- so a serving layer
+(:mod:`repro.service`) can cache the output of one stage and batch another.
+:class:`QueryExecutor` is the one-shot convenience wrapper that runs all
+three for a single query.
 """
 
 from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Set
+from typing import Callable, Dict, List, Optional, Sequence, Set
 
+from repro.coding.base import CodingScheme
 from repro.coding.filter_based import FilterBasedCoding
 from repro.coding.root_split import RootSplitCoding
 from repro.coding.subtree_interval import SubtreeIntervalCoding, SubtreePosting
@@ -79,8 +86,187 @@ class QueryResult:
         return self.matches_per_tree == other.matches_per_tree
 
 
+# ----------------------------------------------------------------------
+# Stage 1: decomposition
+# ----------------------------------------------------------------------
+def default_strategy(coding: CodingScheme) -> str:
+    """The paper's cover strategy for *coding*: ``minRC`` for root-split."""
+    return "min-rc" if isinstance(coding, RootSplitCoding) else "optimal"
+
+
+def decompose_query(
+    query: QueryTree,
+    mss: int,
+    strategy: str,
+    pad: bool = True,
+) -> Cover:
+    """Stage 1: pick a cover of *query* (Section 5.2's decomposition phase)."""
+    return decompose(query, mss, strategy=strategy, pad=pad)
+
+
+# ----------------------------------------------------------------------
+# Stage 2: posting fetch
+# ----------------------------------------------------------------------
+#: A fetch function maps a canonical cover key to its decoded posting list.
+PostingFetcher = Callable[[bytes], List[object]]
+
+
+def fetch_postings(
+    cover: Cover,
+    fetch: PostingFetcher,
+) -> List[List[object]]:
+    """Stage 2: fetch the posting list of each cover subtree.
+
+    *fetch* is any key -> postings function: a bare ``index.lookup``, a
+    caching wrapper, or a batch-local memo built by
+    :meth:`repro.service.QueryService.run_many`.
+    """
+    return [fetch(subtree.key_bytes()) for subtree in cover.subtrees]
+
+
+# ----------------------------------------------------------------------
+# Stage 3: joins (and the filter-based filtering phase)
+# ----------------------------------------------------------------------
+def join_postings(
+    query: QueryTree,
+    cover: Cover,
+    postings: Sequence[Sequence[object]],
+    coding: CodingScheme,
+    store: Optional[TreeStore | Corpus] = None,
+    stats: Optional[ExecutionStats] = None,
+) -> QueryResult:
+    """Stage 3: combine the cover's posting lists into the final matches.
+
+    Dispatches on the coding scheme: tid intersection plus the filtering
+    phase for filter-based coding, structural merge joins otherwise.  When a
+    *stats* object is passed it receives the join-phase counters
+    (``candidates_filtered``).
+    """
+    stats = stats if stats is not None else ExecutionStats()
+    if isinstance(coding, FilterBasedCoding):
+        return _join_filter_based(query, cover, postings, store, stats)
+    if isinstance(coding, (RootSplitCoding, SubtreeIntervalCoding)):
+        return _join_structural(query, cover, postings, coding)
+    raise TypeError(f"unsupported coding scheme {type(coding).__name__}")
+
+
+def _join_filter_based(
+    query: QueryTree,
+    cover: Cover,
+    postings: Sequence[Sequence[object]],
+    store: Optional[TreeStore | Corpus],
+    stats: ExecutionStats,
+) -> QueryResult:
+    """Filter-based coding: intersect tid lists, then validate candidates."""
+    if store is None:
+        raise RuntimeError(
+            "filter-based execution needs a data file (TreeStore) or Corpus "
+            "to run its filtering phase; pass `store=` to QueryExecutor"
+        )
+    tid_lists = [[posting.tid for posting in plist] for plist in postings]
+    candidates = intersect_sorted_tid_lists(tid_lists)
+    stats.candidates_filtered = len(candidates)
+
+    matches: Dict[int, int] = {}
+    for tid in candidates:
+        tree = store.get(tid)
+        count = count_matches(query.root, tree)
+        if count:
+            matches[tid] = count
+    return QueryResult(matches_per_tree=matches)
+
+
+def _join_structural(
+    query: QueryTree,
+    cover: Cover,
+    postings: Sequence[Sequence[object]],
+    coding: CodingScheme,
+) -> QueryResult:
+    """Root-split / subtree-interval codings: structural merge joins."""
+    if len(cover.subtrees) == 1:
+        # Single-subtree cover: the key already encodes the whole query, so
+        # the matches are simply the distinct roots of its postings.  This
+        # skips the binding/join machinery for the very common case of
+        # small queries at larger mss (and of single-label queries).
+        only = list(postings[0])
+        root_pre_of = (
+            (lambda posting: posting.root.pre)
+            if only and isinstance(only[0], SubtreePosting)
+            else (lambda posting: posting.pre)
+        )
+        per_tree: Dict[int, set] = {}
+        for posting in only:
+            per_tree.setdefault(posting.tid, set()).add(root_pre_of(posting))
+        return QueryResult(
+            matches_per_tree={tid: len(pres) for tid, pres in per_tree.items()}
+        )
+    plan = build_plan(query, cover, postings, coding)
+    rows = run_plan(plan)
+    return QueryResult(matches_per_tree=count_root_matches(query, rows))
+
+
+def run_plan(plan: JoinPlan) -> List[BindingRow]:
+    """Execute the plan's left-deep join order and return the joined rows."""
+    if not plan.relations:
+        return []
+    if any(relation.cardinality == 0 for relation in plan.relations):
+        return []
+
+    order = plan.order or list(range(len(plan.relations)))
+    first = plan.relations[order[0]]
+    rows: List[BindingRow] = list(first.rows)
+    bound: Set[int] = set(first.bound_nodes)
+
+    for index in order[1:]:
+        relation = plan.relations[index]
+        predicates = plan.predicates_between(bound, relation.bound_nodes)
+
+        def compatible(left, right, _predicates=predicates) -> bool:
+            for predicate in _predicates:
+                ancestor = left.get(predicate.ancestor_node) or right.get(predicate.ancestor_node)
+                descendant = (
+                    right.get(predicate.descendant_node)
+                    if predicate.descendant_node in right
+                    else left.get(predicate.descendant_node)
+                )
+                if predicate.kind == "equal":
+                    ancestor = left.get(predicate.ancestor_node)
+                    descendant = right.get(predicate.descendant_node)
+                if ancestor is None or descendant is None:
+                    continue
+                if not predicate.holds(ancestor, descendant):
+                    return False
+            return True
+
+        rows = merge_join_bindings(rows, relation.rows, compatible)
+        if not rows:
+            return []
+        bound |= relation.bound_nodes
+        rows = deduplicate_rows(rows)
+    return rows
+
+
+def count_root_matches(query: QueryTree, rows: Sequence[BindingRow]) -> Dict[int, int]:
+    """Count distinct query-root bindings per tree (the paper's match count)."""
+    root_id = query.root.node_id
+    per_tree: Dict[int, Set[int]] = {}
+    for tid, binding in rows:
+        code = binding.get(root_id)
+        if code is None:  # pragma: no cover - the query root is always bound
+            continue
+        per_tree.setdefault(tid, set()).add(code.pre)
+    return {tid: len(pres) for tid, pres in per_tree.items()}
+
+
+# ----------------------------------------------------------------------
+# One-shot wrapper
+# ----------------------------------------------------------------------
 class QueryExecutor:
     """Evaluates tree queries against a :class:`~repro.core.index.SubtreeIndex`.
+
+    Runs all three pipeline stages per call, without caching; use
+    :class:`repro.service.QueryService` to serve repeated or concurrent
+    queries.
 
     Parameters
     ----------
@@ -107,23 +293,18 @@ class QueryExecutor:
         self.index = index
         self.store = store
         self.pad = pad
-        if strategy is not None:
-            self.strategy = strategy
-        elif isinstance(index.coding, RootSplitCoding):
-            self.strategy = "min-rc"
-        else:
-            self.strategy = "optimal"
+        self.strategy = strategy if strategy is not None else default_strategy(index.coding)
 
     # ------------------------------------------------------------------
     def decompose(self, query: QueryTree) -> Cover:
         """Compute the cover this executor would use for *query*."""
-        return decompose(query, self.index.mss, strategy=self.strategy, pad=self.pad)
+        return decompose_query(query, self.index.mss, self.strategy, pad=self.pad)
 
     def execute(self, query: QueryTree) -> QueryResult:
         """Evaluate *query* and return its matches and execution statistics."""
         started = time.perf_counter()
         cover = self.decompose(query)
-        postings = [self.index.lookup(subtree.key_bytes()) for subtree in cover.subtrees]
+        postings = fetch_postings(cover, self.index.lookup)
 
         stats = ExecutionStats(
             coding=self.index.coding.name,
@@ -132,129 +313,9 @@ class QueryExecutor:
             join_count=cover.join_count,
             postings_fetched=sum(len(plist) for plist in postings),
         )
-
-        coding = self.index.coding
-        if isinstance(coding, FilterBasedCoding):
-            result = self._execute_filter_based(query, cover, postings, stats)
-        elif isinstance(coding, (RootSplitCoding, SubtreeIntervalCoding)):
-            result = self._execute_structural(query, cover, postings, stats)
-        else:  # pragma: no cover - defensive
-            raise TypeError(f"unsupported coding scheme {type(coding).__name__}")
-
+        result = join_postings(
+            query, cover, postings, self.index.coding, store=self.store, stats=stats
+        )
         stats.elapsed_seconds = time.perf_counter() - started
         result.stats = stats
         return result
-
-    # ------------------------------------------------------------------
-    # Filter-based coding: intersection + filtering phase
-    # ------------------------------------------------------------------
-    def _fetch_tree(self, tid: int):
-        if self.store is None:
-            raise RuntimeError(
-                "filter-based execution needs a data file (TreeStore) or Corpus "
-                "to run its filtering phase; pass `store=` to QueryExecutor"
-            )
-        return self.store.get(tid)
-
-    def _execute_filter_based(
-        self,
-        query: QueryTree,
-        cover: Cover,
-        postings: Sequence[Sequence[object]],
-        stats: ExecutionStats,
-    ) -> QueryResult:
-        tid_lists = [[posting.tid for posting in plist] for plist in postings]
-        candidates = intersect_sorted_tid_lists(tid_lists)
-        stats.candidates_filtered = len(candidates)
-
-        matches: Dict[int, int] = {}
-        for tid in candidates:
-            tree = self._fetch_tree(tid)
-            count = count_matches(query.root, tree)
-            if count:
-                matches[tid] = count
-        return QueryResult(matches_per_tree=matches)
-
-    # ------------------------------------------------------------------
-    # Root-split and subtree-interval codings: structural joins
-    # ------------------------------------------------------------------
-    def _execute_structural(
-        self,
-        query: QueryTree,
-        cover: Cover,
-        postings: Sequence[Sequence[object]],
-        stats: ExecutionStats,
-    ) -> QueryResult:
-        if len(cover.subtrees) == 1:
-            # Single-subtree cover: the key already encodes the whole query, so
-            # the matches are simply the distinct roots of its postings.  This
-            # skips the binding/join machinery for the very common case of
-            # small queries at larger mss (and of single-label queries).
-            only = list(postings[0])
-            root_pre_of = (
-                (lambda posting: posting.root.pre)
-                if only and isinstance(only[0], SubtreePosting)
-                else (lambda posting: posting.pre)
-            )
-            per_tree: Dict[int, set] = {}
-            for posting in only:
-                per_tree.setdefault(posting.tid, set()).add(root_pre_of(posting))
-            return QueryResult(
-                matches_per_tree={tid: len(pres) for tid, pres in per_tree.items()}
-            )
-        plan = build_plan(query, cover, postings, self.index.coding)
-        rows = self._run_plan(plan)
-        return QueryResult(matches_per_tree=self._count_matches(query, rows))
-
-    @staticmethod
-    def _run_plan(plan: JoinPlan) -> List[BindingRow]:
-        """Execute the plan's left-deep join order and return the joined rows."""
-        if not plan.relations:
-            return []
-        if any(relation.cardinality == 0 for relation in plan.relations):
-            return []
-
-        order = plan.order or list(range(len(plan.relations)))
-        first = plan.relations[order[0]]
-        rows: List[BindingRow] = list(first.rows)
-        bound: Set[int] = set(first.bound_nodes)
-
-        for index in order[1:]:
-            relation = plan.relations[index]
-            predicates = plan.predicates_between(bound, relation.bound_nodes)
-
-            def compatible(left, right, _predicates=predicates) -> bool:
-                for predicate in _predicates:
-                    ancestor = left.get(predicate.ancestor_node) or right.get(predicate.ancestor_node)
-                    descendant = (
-                        right.get(predicate.descendant_node)
-                        if predicate.descendant_node in right
-                        else left.get(predicate.descendant_node)
-                    )
-                    if predicate.kind == "equal":
-                        ancestor = left.get(predicate.ancestor_node)
-                        descendant = right.get(predicate.descendant_node)
-                    if ancestor is None or descendant is None:
-                        continue
-                    if not predicate.holds(ancestor, descendant):
-                        return False
-                return True
-
-            rows = merge_join_bindings(rows, relation.rows, compatible)
-            if not rows:
-                return []
-            bound |= relation.bound_nodes
-            rows = deduplicate_rows(rows)
-        return rows
-
-    @staticmethod
-    def _count_matches(query: QueryTree, rows: Sequence[BindingRow]) -> Dict[int, int]:
-        """Count distinct query-root bindings per tree (the paper's match count)."""
-        root_id = query.root.node_id
-        per_tree: Dict[int, Set[int]] = {}
-        for tid, binding in rows:
-            code = binding.get(root_id)
-            if code is None:  # pragma: no cover - the query root is always bound
-                continue
-            per_tree.setdefault(tid, set()).add(code.pre)
-        return {tid: len(pres) for tid, pres in per_tree.items()}

@@ -1,0 +1,22 @@
+"""The serving layer: cached, batched, thread-safe query evaluation.
+
+* :mod:`repro.service.cache` -- the LRU primitives: a single-lock
+  :class:`LRUCache` and the lock-striped :class:`StripedLRUCache` used for
+  both the prepared-query cache and the posting cache.
+* :mod:`repro.service.service` -- :class:`QueryService`, which wraps one
+  open index (plus its data file) and serves repeated and concurrent
+  queries through those caches, including the batch API
+  :meth:`QueryService.run_many`.
+"""
+
+from repro.service.cache import CacheStats, LRUCache, StripedLRUCache
+from repro.service.service import PreparedQuery, QueryService, ServiceStats
+
+__all__ = [
+    "QueryService",
+    "PreparedQuery",
+    "ServiceStats",
+    "LRUCache",
+    "StripedLRUCache",
+    "CacheStats",
+]

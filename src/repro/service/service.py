@@ -1,0 +1,346 @@
+"""The query service: a serving layer over one open subtree index.
+
+:class:`~repro.exec.executor.QueryExecutor` re-runs the whole pipeline --
+parse, decompose, fetch, join -- on every call.  That is the right shape for
+a one-off experiment and the wrong shape for a server, where the same
+handful of query templates arrives millions of times.  The service keeps
+three caches in front of the pipeline:
+
+prepared-query cache
+    parse + decomposition are pure functions of the query text and the index
+    parameters, so their output (a :class:`PreparedQuery`: the parsed tree,
+    its cover and the cover's canonical key bytes) is cached under the
+    *normalized* query string.  ``NP( DT ) ( NN )``, ``NP(DT)(NN)`` and the
+    equivalent path form all share one entry.
+
+posting cache
+    a lock-striped LRU of *decoded* posting lists installed in front of the
+    B+Tree (:meth:`repro.core.index.SubtreeIndex.attach_postings_cache`), so
+    repeated cover keys skip both the tree descent and posting decoding.
+    (The B+Tree additionally offers a raw-value read-through hook,
+    :meth:`repro.storage.bptree.BPlusTree.attach_cache`, for callers below
+    the decode step.)
+
+result cache
+    complete :class:`~repro.exec.executor.QueryResult` objects keyed by the
+    normalized query string.  The index is immutable while open, so an
+    identical repeated query can be answered without any join work at all.
+    Size 0 disables this layer.
+
+On top of these, :meth:`QueryService.run_many` batches: it prepares every
+query first, fetches each *distinct* cover key exactly once, and joins each
+query against the shared fetch memo.  All structures are thread-safe -- the
+caches stripe their locks and the B+Tree serialises cache-missing descents
+-- so one service instance can sit behind a thread pool.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.core.index import SubtreeIndex
+from repro.corpus.store import Corpus, TreeStore, data_file_path
+from repro.exec.executor import (
+    ExecutionStats,
+    QueryResult,
+    decompose_query,
+    default_strategy,
+    join_postings,
+)
+from repro.query.covers import Cover
+from repro.query.model import QueryTree
+from repro.query.parser import parse_query
+from repro.service.cache import CacheStats, StripedLRUCache
+from repro.storage.bptree import ProbeStats
+
+#: Anything `run` / `run_many` accept as a query.
+QueryLike = Union[str, QueryTree]
+
+
+@dataclass(frozen=True)
+class PreparedQuery:
+    """The cacheable output of the parse + decomposition stages.
+
+    Immutable and shared between threads: executions read the cover and key
+    bytes but never mutate them.
+    """
+
+    normalized: str
+    query: QueryTree
+    cover: Cover
+    key_bytes: Tuple[bytes, ...]
+
+    @property
+    def distinct_keys(self) -> frozenset:
+        """The distinct canonical cover keys this query fetches."""
+        return frozenset(self.key_bytes)
+
+
+@dataclass
+class ServiceStats:
+    """One snapshot of every counter the service keeps.
+
+    ``plans`` covers the prepared-query cache, ``postings`` the lock-striped
+    posting cache, ``results`` the whole-result cache, and ``probes`` the
+    index's lookup counters (``probes.tree_descents`` is the number of
+    actual B+Tree descents -- the disk I/O proxy).
+    """
+
+    queries: int = 0
+    batches: int = 0
+    batch_keys_deduped: int = 0
+    plans: CacheStats = field(default_factory=CacheStats)
+    postings: CacheStats = field(default_factory=CacheStats)
+    results: CacheStats = field(default_factory=CacheStats)
+    probes: ProbeStats = field(default_factory=ProbeStats)
+
+
+class QueryService:
+    """Serves repeated and concurrent queries over one open index.
+
+    Parameters
+    ----------
+    index:
+        An open :class:`~repro.core.index.SubtreeIndex`.
+    store:
+        Data file or in-memory corpus; required for filter-based coding.
+        For *concurrent* filter-based serving pass an in-memory
+        :class:`~repro.corpus.store.Corpus` -- an on-disk ``TreeStore``
+        shares one unsynchronised file handle across threads.
+    strategy / pad:
+        Decomposition knobs, as on :class:`~repro.exec.executor.QueryExecutor`.
+    plan_cache_size / postings_cache_size / result_cache_size:
+        Entry bounds of the three LRU caches; size 0 disables that layer
+        entirely.  Cached results are shared objects and must be treated as
+        read-only by callers.
+    stripes:
+        Lock stripes per cache; raise for heavily threaded workloads.
+    """
+
+    def __init__(
+        self,
+        index: SubtreeIndex,
+        store: Optional[TreeStore | Corpus] = None,
+        strategy: Optional[str] = None,
+        pad: bool = True,
+        plan_cache_size: int = 256,
+        postings_cache_size: int = 4096,
+        result_cache_size: int = 1024,
+        stripes: int = 8,
+    ):
+        self.index = index
+        self.store = store
+        self.pad = pad
+        self.strategy = strategy if strategy is not None else default_strategy(index.coding)
+
+        def make_cache(size: int) -> Optional[StripedLRUCache]:
+            return StripedLRUCache(size, stripes=stripes) if size else None
+
+        self._plan_cache = make_cache(plan_cache_size)
+        self._postings_cache = make_cache(postings_cache_size)
+        self._result_cache = make_cache(result_cache_size)
+        if self._postings_cache is not None:
+            index.attach_postings_cache(self._postings_cache)
+        self._owned_resources: List[object] = []
+        # Telemetry counters, deliberately lock-free like ProbeStats: exact
+        # single-threaded, may undercount slightly under concurrency.  A
+        # lock here would put every fully-cached run() behind one global
+        # mutex for nothing but accounting.
+        self._queries = 0
+        self._batches = 0
+        self._batch_keys_deduped = 0
+
+    # ------------------------------------------------------------------
+    # Construction from files
+    # ------------------------------------------------------------------
+    @classmethod
+    def open(cls, index_path: str, **kwargs: object) -> "QueryService":
+        """Open an index file (and its ``.data`` file, if present) for serving.
+
+        The service owns what it opens: :meth:`close` releases both files.
+        """
+        index = SubtreeIndex.open(index_path)  # raises FileNotFoundError if missing
+        data_path = data_file_path(index_path)
+        store = TreeStore(data_path) if os.path.exists(data_path) else None
+        service = cls(index, store=store, **kwargs)  # type: ignore[arg-type]
+        service._owned_resources.append(index)
+        if store is not None:
+            service._owned_resources.append(store)
+        return service
+
+    def close(self) -> None:
+        """Clear the caches and close any resources opened by :meth:`open`."""
+        self.clear_caches()
+        self.index.attach_postings_cache(None)
+        for resource in self._owned_resources:
+            resource.close()  # type: ignore[attr-defined]
+        self._owned_resources.clear()
+
+    def __enter__(self) -> "QueryService":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Stage 1: prepared queries
+    # ------------------------------------------------------------------
+    def prepare(self, query: QueryLike) -> PreparedQuery:
+        """Parse and decompose *query*, reusing the cached plan when possible.
+
+        Query strings are normalized by parsing and re-serialising, so
+        whitespace variants and the linear path form share a cache entry.  A
+        raw-text alias entry is kept as well, making the exact-repeat case a
+        single cache probe with no parsing at all.
+        """
+        if isinstance(query, QueryTree):
+            return self._prepare_parsed(query.root.to_string(), query)
+
+        text_key = query.strip()
+        cache = self._plan_cache
+        if cache is not None:
+            cached = cache.get(text_key)
+            if cached is not None:
+                return cached  # type: ignore[return-value]
+        parsed = parse_query(query)
+        prepared = self._prepare_parsed(parsed.root.to_string(), parsed)
+        if cache is not None and text_key != prepared.normalized:
+            cache.put(text_key, prepared)
+        return prepared
+
+    def _prepare_parsed(self, normalized: str, parsed: QueryTree) -> PreparedQuery:
+        cache = self._plan_cache
+        if cache is not None:
+            cached = cache.get(normalized)
+            if cached is not None:
+                return cached  # type: ignore[return-value]
+        cover = decompose_query(parsed, self.index.mss, self.strategy, pad=self.pad)
+        keys = tuple(subtree.key_bytes() for subtree in cover.subtrees)
+        prepared = PreparedQuery(
+            normalized=normalized, query=parsed, cover=cover, key_bytes=keys
+        )
+        if cache is not None:
+            cache.put(normalized, prepared)
+        return prepared
+
+    # ------------------------------------------------------------------
+    # Stages 2+3: execution
+    # ------------------------------------------------------------------
+    def _execute_prepared(
+        self,
+        prepared: PreparedQuery,
+        postings: Sequence[Sequence[object]],
+        started: float,
+    ) -> QueryResult:
+        stats = ExecutionStats(
+            coding=self.index.coding.name,
+            strategy=self.strategy,
+            cover_size=len(prepared.cover),
+            join_count=prepared.cover.join_count,
+            postings_fetched=sum(len(plist) for plist in postings),
+        )
+        result = join_postings(
+            prepared.query,
+            prepared.cover,
+            postings,
+            self.index.coding,
+            store=self.store,
+            stats=stats,
+        )
+        stats.elapsed_seconds = time.perf_counter() - started
+        result.stats = stats
+        return result
+
+    def _cached_result(self, prepared: PreparedQuery) -> Optional[QueryResult]:
+        if self._result_cache is None:
+            return None
+        return self._result_cache.get(prepared.normalized)  # type: ignore[return-value]
+
+    def _remember_result(self, prepared: PreparedQuery, result: QueryResult) -> None:
+        if self._result_cache is not None:
+            self._result_cache.put(prepared.normalized, result)
+
+    def run(self, query: QueryLike) -> QueryResult:
+        """Evaluate one query through the cached pipeline.
+
+        An identical (up to normalization) earlier query is answered straight
+        from the result cache; its ``stats`` describe the execution that
+        originally produced it.
+        """
+        started = time.perf_counter()
+        prepared = self.prepare(query)
+        result = self._cached_result(prepared)
+        if result is None:
+            postings = [self.index.lookup(key) for key in prepared.key_bytes]
+            result = self._execute_prepared(prepared, postings, started)
+            self._remember_result(prepared, result)
+        self._queries += 1
+        return result
+
+    def run_many(self, queries: Sequence[QueryLike]) -> List[QueryResult]:
+        """Evaluate a batch, fetching each distinct cover key exactly once.
+
+        The batch is prepared first; the union of cover keys is deduplicated
+        and fetched into a memo (one :meth:`~repro.core.index.SubtreeIndex.lookup`
+        -- hence at most one B+Tree descent -- per distinct key), every query
+        joins against the shared memo, and identical queries share one join.
+        Results keep the input order; each result's ``stats.elapsed_seconds``
+        covers only its own join, since the prepare/fetch work is shared by
+        the whole batch (time the ``run_many`` call itself for batch totals).
+        """
+        prepared_batch = [self.prepare(query) for query in queries]
+        cached: List[Optional[QueryResult]] = [
+            self._cached_result(prepared) for prepared in prepared_batch
+        ]
+
+        memo: Dict[bytes, List[object]] = {}
+        total_keys = 0
+        for prepared, hit in zip(prepared_batch, cached):
+            if hit is not None:
+                continue
+            for key in prepared.key_bytes:
+                total_keys += 1
+                if key not in memo:
+                    memo[key] = self.index.lookup(key)
+
+        results: List[QueryResult] = []
+        computed: Dict[str, QueryResult] = {}  # joins run once per distinct query
+        for prepared, hit in zip(prepared_batch, cached):
+            if hit is not None:
+                results.append(hit)
+                continue
+            result = computed.get(prepared.normalized)
+            if result is None:
+                postings = [memo[key] for key in prepared.key_bytes]
+                result = self._execute_prepared(prepared, postings, time.perf_counter())
+                self._remember_result(prepared, result)
+                computed[prepared.normalized] = result
+            results.append(result)
+        self._queries += len(prepared_batch)
+        self._batches += 1
+        self._batch_keys_deduped += total_keys - len(memo)
+        return results
+
+    # ------------------------------------------------------------------
+    # Introspection and maintenance
+    # ------------------------------------------------------------------
+    def stats(self) -> ServiceStats:
+        """Snapshot every counter: service, all three caches, index probes."""
+        return ServiceStats(
+            queries=self._queries,
+            batches=self._batches,
+            batch_keys_deduped=self._batch_keys_deduped,
+            plans=self._plan_cache.stats() if self._plan_cache else CacheStats(),
+            postings=self._postings_cache.stats() if self._postings_cache else CacheStats(),
+            results=self._result_cache.stats() if self._result_cache else CacheStats(),
+            probes=self.index.probe_stats.snapshot(),
+        )
+
+    def clear_caches(self) -> None:
+        """Drop all cached plans, postings and results (counters are kept)."""
+        for cache in (self._plan_cache, self._postings_cache, self._result_cache):
+            if cache is not None:
+                cache.clear()

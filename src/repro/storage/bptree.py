@@ -14,8 +14,10 @@ construction uses.
 from __future__ import annotations
 
 import struct
+import threading
 from bisect import bisect_left, bisect_right
-from typing import Iterator, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Protocol, Sequence, Tuple
 
 from repro.storage.codec import (
     decode_length_prefixed,
@@ -38,6 +40,65 @@ _OVERFLOW_HEADER = struct.Struct("<BIH")  # type, next page, bytes used in page
 
 class BPlusTreeError(RuntimeError):
     """Raised on malformed tree files or invalid operations."""
+
+
+class ValueCache(Protocol):
+    """Read-through cache protocol consumed by :meth:`BPlusTree.get`.
+
+    Any object with ``get(key, default)`` / ``put(key, value)`` /
+    ``invalidate(key)`` works; :class:`repro.service.cache.StripedLRUCache`
+    is the production implementation.
+    """
+
+    def get(self, key: bytes, default: object = None) -> object: ...
+
+    def put(self, key: bytes, value: object) -> None: ...
+
+    def invalidate(self, key: bytes) -> None: ...
+
+
+#: Sentinel distinguishing "not cached" from a cached ``None`` (missing key).
+_CACHE_MISS = object()
+
+
+@dataclass
+class ProbeStats:
+    """Counters describing how lookups were served.
+
+    ``gets`` counts every :meth:`BPlusTree.get` call, ``cache_hits`` the ones
+    answered by the read-through cache, and ``tree_descents`` the ones that
+    walked the tree (the on-disk probe the paper's Section 6 costs out).
+
+    The counters are deliberately maintained without a lock so the cache-hit
+    fast path stays contention-free: they are exact in single-threaded use
+    (what every test asserts on) and may undercount slightly under
+    concurrent serving.  Treat them as telemetry, not an invariant, when
+    multiple threads are involved.
+    """
+
+    gets: int = 0
+    cache_hits: int = 0
+    tree_descents: int = 0
+
+    @property
+    def cache_misses(self) -> int:
+        """Lookups that had to descend into the tree."""
+        return self.gets - self.cache_hits
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from the cache (0.0 when never probed)."""
+        return self.cache_hits / self.gets if self.gets else 0.0
+
+    def snapshot(self) -> "ProbeStats":
+        """An immutable copy of the current counters."""
+        return ProbeStats(self.gets, self.cache_hits, self.tree_descents)
+
+    def reset(self) -> None:
+        """Zero all counters."""
+        self.gets = 0
+        self.cache_hits = 0
+        self.tree_descents = 0
 
 
 class _Leaf:
@@ -77,9 +138,20 @@ class BPlusTree:
         Page size in bytes (default 4096, as in the paper's setup).
     """
 
-    def __init__(self, path: str, page_size: int = PAGE_SIZE):
+    def __init__(self, path: str, page_size: int = PAGE_SIZE,
+                 value_cache: Optional[ValueCache] = None):
         self.pager = Pager(path, page_size=page_size)
         self._overflow_threshold = page_size // 4
+        #: Optional read-through cache consulted by :meth:`get` before any
+        #: page access; install one with :meth:`attach_cache`.
+        self.value_cache = value_cache
+        #: Lookup counters (gets / cache hits / tree descents).
+        self.probe_stats = ProbeStats()
+        # Point lookups share one file handle (seek + read is not atomic), so
+        # concurrent cache-missing `get` calls serialise on this lock.  Cache
+        # hits never take it, which is what makes a warm cache scale across
+        # threads.
+        self._descent_lock = threading.Lock()
         meta = self.pager.read(0)
         magic, root, height, count = _META.unpack_from(meta, 0)
         if magic == _MAGIC:
@@ -271,8 +343,37 @@ class BPlusTree:
             path.append((page_id, internal, index))
             page_id = internal.children[index]
 
+    def attach_cache(self, cache: Optional[ValueCache]) -> None:
+        """Install (or, with ``None``, remove) the read-through value cache."""
+        self.value_cache = cache
+
     def get(self, key: bytes) -> Optional[bytes]:
-        """Return the value stored under *key* or ``None``."""
+        """Return the value stored under *key* or ``None``.
+
+        When a :attr:`value_cache` is attached the lookup is read-through:
+        cached keys (including cached absences) are answered without touching
+        any page; uncached keys descend the tree once and populate the cache.
+        """
+        self.probe_stats.gets += 1
+        cache = self.value_cache
+        if cache is not None:
+            cached = cache.get(key, _CACHE_MISS)
+            if cached is not _CACHE_MISS:
+                self.probe_stats.cache_hits += 1
+                return cached  # type: ignore[return-value]
+        # The cache re-population happens inside the descent lock; insert()
+        # performs its write AND its invalidation under the same lock, so a
+        # concurrent writer cannot slip between our read and our put and the
+        # cache can never be left holding a stale value.
+        with self._descent_lock:
+            value = self._get_from_tree(key)
+            if cache is not None:
+                cache.put(key, value)
+        return value
+
+    def _get_from_tree(self, key: bytes) -> Optional[bytes]:
+        """Uncached point lookup; the caller must hold ``_descent_lock``."""
+        self.probe_stats.tree_descents += 1
         _, leaf, _ = self._find_leaf(key)
         index = bisect_left(leaf.keys, key)
         if index < len(leaf.keys) and leaf.keys[index] == key:
@@ -287,11 +388,23 @@ class BPlusTree:
     # Insertion
     # ------------------------------------------------------------------
     def insert(self, key: bytes, value: bytes) -> None:
-        """Insert or replace the value stored under *key*."""
+        """Insert or replace the value stored under *key*.
+
+        Takes the descent lock for the whole update (so concurrent readers
+        never observe a mid-split tree) and invalidates the cache entry
+        inside the same critical section.  Together with :meth:`get` caching
+        inside the lock, a reader's stale put can never interleave between
+        the write and the invalidation.
+        """
         if not isinstance(key, (bytes, bytearray)):
             raise TypeError("keys must be bytes")
-        leaf_page, leaf, path = self._find_leaf(bytes(key))
-        key = bytes(key)
+        with self._descent_lock:
+            self._insert_locked(bytes(key), value)
+            if self.value_cache is not None:
+                self.value_cache.invalidate(bytes(key))
+
+    def _insert_locked(self, key: bytes, value: bytes) -> None:
+        leaf_page, leaf, path = self._find_leaf(key)
         payload = self._store_value(value)
         index = bisect_left(leaf.keys, key)
         if index < len(leaf.keys) and leaf.keys[index] == key:

@@ -1,0 +1,245 @@
+"""Integration tests for the QueryService: caching, batching, thread safety."""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro.core.index import SubtreeIndex
+from repro.exec.executor import QueryExecutor
+from repro.query.parser import parse_query
+from repro.service.service import QueryService
+
+QUERIES = [
+    "NP(DT)(NN)",
+    "S(NP)(VP)",
+    "VP(VBZ)(NP)",
+    "S(NP)(VP(VBZ))",
+    "S(//NN)",
+]
+
+
+@pytest.fixture(scope="module")
+def index_path(tmp_path_factory, small_corpus) -> str:
+    path = str(tmp_path_factory.mktemp("service") / "corpus.si")
+    SubtreeIndex.build(small_corpus, mss=3, coding="root-split", path=path).close()
+    return path
+
+
+@pytest.fixture()
+def index(index_path) -> SubtreeIndex:
+    opened = SubtreeIndex.open(index_path)
+    yield opened
+    opened.close()
+
+
+@pytest.fixture()
+def service(index, small_corpus) -> QueryService:
+    svc = QueryService(index, store=small_corpus)
+    yield svc
+    svc.close()
+
+
+class TestResultsMatchExecutor:
+    def test_run_agrees_with_query_executor(self, service, index, small_corpus) -> None:
+        executor = QueryExecutor(index, store=small_corpus)
+        for text in QUERIES:
+            expected = executor.execute(parse_query(text))
+            assert service.run(text).matches_per_tree == expected.matches_per_tree
+            # A second, cache-served run returns the same answer.
+            assert service.run(text).matches_per_tree == expected.matches_per_tree
+
+    def test_run_many_agrees_with_run(self, service) -> None:
+        fresh = [f" {text} " for text in QUERIES]  # bypass nothing, just vary text
+        batch = service.run_many(fresh)
+        assert [r.matches_per_tree for r in batch] == [
+            service.run(text).matches_per_tree for text in QUERIES
+        ]
+
+    def test_accepts_parsed_query_trees(self, service) -> None:
+        parsed = parse_query("NP(DT)(NN)")
+        assert service.run(parsed).matches_per_tree == service.run("NP(DT)(NN)").matches_per_tree
+
+
+class TestPreparedQueryCache:
+    def test_prepare_caches_by_normalized_text(self, service) -> None:
+        first = service.prepare("NP(DT)(NN)")
+        again = service.prepare("NP(DT)(NN)")
+        spaced = service.prepare("NP( DT )( NN )")
+        assert again is first
+        assert spaced is first
+
+    def test_path_form_shares_the_entry(self, service) -> None:
+        bracketed = service.prepare("S(NP(//NN))")
+        path_form = service.prepare("S/NP//NN")
+        assert path_form is bracketed
+
+    def test_plan_cache_counts_hits(self, service) -> None:
+        service.prepare("NP(DT)(NN)")
+        before = service.stats().plans.hits
+        service.prepare("NP(DT)(NN)")
+        assert service.stats().plans.hits == before + 1
+
+    def test_prepared_keys_match_cover(self, service) -> None:
+        prepared = service.prepare("S(NP)(VP(VBZ))")
+        assert len(prepared.key_bytes) == len(prepared.cover.subtrees)
+        assert prepared.distinct_keys == frozenset(
+            subtree.key_bytes() for subtree in prepared.cover.subtrees
+        )
+
+
+class TestPostingCache:
+    def test_repeat_run_hits_posting_cache(self, index, small_corpus) -> None:
+        service = QueryService(index, store=small_corpus, result_cache_size=0)
+        service.run("NP(DT)(NN)")
+        descents_after_cold = service.stats().probes.tree_descents
+        service.run("NP(DT)(NN)")
+        stats = service.stats()
+        assert stats.probes.tree_descents == descents_after_cold
+        assert stats.postings.hits > 0
+        service.close()
+
+    def test_probe_counters_account_hits_and_misses(self, index, small_corpus) -> None:
+        index.reset_probe_stats()
+        service = QueryService(index, store=small_corpus, result_cache_size=0)
+        service.run("NP(DT)(NN)")   # single-key cover: one get, one descent
+        service.run("NP(DT)(NN)")   # served by the posting cache
+        stats = service.stats().probes
+        assert stats.gets == 2
+        assert stats.tree_descents == 1
+        assert stats.cache_hits == 1
+        assert stats.cache_misses == 1
+        assert stats.hit_rate == pytest.approx(0.5)
+        service.close()
+
+
+class TestResultCache:
+    def test_identical_queries_share_the_result(self, service) -> None:
+        first = service.run("NP(DT)(NN)")
+        second = service.run("NP( DT )( NN )")
+        assert second is first
+        assert service.stats().results.hits == 1
+
+    def test_all_caches_can_be_disabled(self, index, small_corpus) -> None:
+        service = QueryService(
+            index, store=small_corpus,
+            plan_cache_size=0, postings_cache_size=0, result_cache_size=0,
+        )
+        first = service.run("NP(DT)(NN)")
+        second = service.run("NP(DT)(NN)")
+        assert second is not first
+        assert second.matches_per_tree == first.matches_per_tree
+        stats = service.stats()
+        assert stats.plans.lookups == 0
+        assert stats.postings.lookups == 0
+        assert stats.results.lookups == 0
+        assert index.postings_cache is None  # nothing was attached
+        service.close()
+
+    def test_disabled_result_cache_recomputes(self, index, small_corpus) -> None:
+        service = QueryService(index, store=small_corpus, result_cache_size=0)
+        first = service.run("NP(DT)(NN)")
+        second = service.run("NP(DT)(NN)")
+        assert second is not first
+        assert second.matches_per_tree == first.matches_per_tree
+        assert service.stats().results.lookups == 0
+        service.close()
+
+
+class TestBatchAPI:
+    def test_batch_fetches_each_distinct_key_exactly_once(self, index, small_corpus) -> None:
+        """The acceptance property: one B+Tree probe per distinct cover key."""
+        index.reset_probe_stats()
+        service = QueryService(index, store=small_corpus, result_cache_size=0)
+
+        batch = ["NP(DT)(NN)", "S(NP)(VP)", "NP(DT)(NN)", "S(NP)(VP(VBZ))"]
+        distinct_keys = set()
+        for text in batch:
+            distinct_keys |= service.prepare(text).distinct_keys
+
+        results = service.run_many(batch)
+        stats = service.stats()
+        assert len(results) == len(batch)
+        assert stats.probes.gets == len(distinct_keys)
+        assert stats.probes.tree_descents == len(distinct_keys)
+        # The repeated query and any shared cover keys were deduplicated.
+        total_keys = sum(len(service.prepare(text).key_bytes) for text in batch)
+        assert stats.batch_keys_deduped == total_keys - len(distinct_keys)
+        service.close()
+
+    def test_second_batch_is_served_from_caches(self, index, small_corpus) -> None:
+        service = QueryService(index, store=small_corpus, result_cache_size=0)
+        service.run_many(QUERIES)
+        descents = service.stats().probes.tree_descents
+        service.run_many(QUERIES)
+        assert service.stats().probes.tree_descents == descents
+        service.close()
+
+    def test_batch_results_keep_input_order(self, service) -> None:
+        singles = {text: service.run(text).matches_per_tree for text in QUERIES}
+        batch = service.run_many(list(reversed(QUERIES)))
+        assert [r.matches_per_tree for r in batch] == [
+            singles[text] for text in reversed(QUERIES)
+        ]
+
+    def test_empty_batch(self, service) -> None:
+        assert service.run_many([]) == []
+
+    def test_identical_batch_queries_share_one_join(self, index, small_corpus) -> None:
+        service = QueryService(index, store=small_corpus, result_cache_size=0)
+        first, second = service.run_many(["NP(DT)(NN)", "NP( DT )( NN )"])
+        assert second is first  # joined once, shared across positions
+        service.close()
+
+
+class TestInvalidationOnReopen:
+    def test_close_clears_and_detaches_the_cache(self, index_path, small_corpus) -> None:
+        index = SubtreeIndex.open(index_path)
+        service = QueryService(index, store=small_corpus)
+        service.run("NP(DT)(NN)")
+        cache = index.postings_cache
+        assert cache is not None and len(cache) > 0
+        index.close()
+        assert len(cache) == 0          # close() flushed the shared cache
+        assert index.postings_cache is None
+
+        # A reopened index starts cold: nothing stale is served.
+        reopened = SubtreeIndex.open(index_path)
+        fresh = QueryService(reopened, store=small_corpus)
+        fresh.run("NP(DT)(NN)")
+        stats = fresh.stats()
+        assert stats.postings.hits == 0
+        assert stats.probes.tree_descents > 0
+        reopened.close()
+
+    def test_service_close_releases_owned_resources(self, index_path) -> None:
+        service = QueryService.open(index_path)
+        result = service.run("NP(DT)")
+        assert result.total_matches > 0
+        service.close()
+        with pytest.raises(Exception):
+            service.index.lookup(b"NP")  # underlying tree file is closed
+
+    def test_open_missing_index_raises(self, tmp_path) -> None:
+        missing = str(tmp_path / "nope.si")
+        with pytest.raises(FileNotFoundError):
+            QueryService.open(missing)
+        assert not (tmp_path / "nope.si").exists()
+
+
+class TestConcurrency:
+    def test_threaded_runs_return_consistent_results(self, index, small_corpus) -> None:
+        service = QueryService(index, store=small_corpus)
+        expected = {text: service.run(text).matches_per_tree for text in QUERIES}
+        service.clear_caches()
+
+        workload = QUERIES * 8
+
+        def serve(text: str):
+            return text, service.run(text).matches_per_tree
+
+        with ThreadPoolExecutor(max_workers=6) as pool:
+            for text, matches in pool.map(serve, workload):
+                assert matches == expected[text]
+        service.close()

@@ -1,0 +1,93 @@
+"""Smoke test: the README's 5-minute CLI session, end to end in a temp dir.
+
+Runs ``python -m repro.cli generate / build / query / stats`` as real
+subprocesses so the documented quickstart can never rot: if the README
+session breaks, this test breaks.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def run_cli(*argv: str, cwd: str) -> subprocess.CompletedProcess:
+    env = dict(os.environ)
+    src = str(REPO_ROOT / "src")
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    return subprocess.run(
+        [sys.executable, "-m", "repro.cli", *argv],
+        cwd=cwd,
+        env=env,
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+
+
+@pytest.fixture(scope="module")
+def workdir(tmp_path_factory) -> str:
+    return str(tmp_path_factory.mktemp("smoke"))
+
+
+def test_readme_session(workdir) -> None:
+    """The exact generate -> build -> query -> stats flow the README documents."""
+    generate = run_cli(
+        "generate", "--sentences", "300", "--seed", "7", "--out", "corpus.penn", cwd=workdir
+    )
+    assert generate.returncode == 0, generate.stderr
+    assert "300 parse trees" in generate.stdout
+
+    build = run_cli(
+        "build", "corpus.penn", "--mss", "3", "--coding", "root-split",
+        "--out", "corpus.si", cwd=workdir,
+    )
+    assert build.returncode == 0, build.stderr
+    assert "built root-split index" in build.stdout
+
+    query = run_cli(
+        "query", "corpus.si", "NP(DT)(NN)", "S(NP)(VP(VBZ))", cwd=workdir
+    )
+    assert query.returncode == 0, query.stderr
+    assert "NP(DT)(NN):" in query.stdout
+    assert "matches" in query.stdout
+
+    repeat = run_cli(
+        "query", "corpus.si", "NP(DT)(NN)", "--repeat", "5", "--cache-stats", cwd=workdir
+    )
+    assert repeat.returncode == 0, repeat.stderr
+    assert "warm avg=" in repeat.stdout
+    assert "cache: plans" in repeat.stdout
+
+    batch = run_cli(
+        "query", "corpus.si", "NP(DT)", "NP(DT)(NN)", "--batch", cwd=workdir
+    )
+    assert batch.returncode == 0, batch.stderr
+    assert batch.stdout.count("matches") >= 2
+
+    stats = run_cli("stats", "corpus.si", "--top", "3", cwd=workdir)
+    assert stats.returncode == 0, stats.stderr
+    assert "coding          : root-split" in stats.stdout
+    assert "top 3 keys" in stats.stdout
+
+
+def test_malformed_query_fails_cleanly(workdir) -> None:
+    """A malformed query exits non-zero with a message, never a traceback."""
+    result = run_cli("query", "corpus.si", "NP(((", cwd=workdir)
+    assert result.returncode == 2
+    assert "cannot parse query" in result.stderr
+    assert "Traceback" not in result.stderr
+
+
+def test_missing_index_fails_cleanly(workdir) -> None:
+    result = run_cli("query", "no-such-index.si", "NP", cwd=workdir)
+    assert result.returncode == 2
+    assert "cannot open index" in result.stderr
+    assert "Traceback" not in result.stderr
+    assert not (Path(workdir) / "no-such-index.si").exists()
