@@ -16,6 +16,9 @@ Syntactically Annotated Trees"*, VLDB 2012.  The package provides:
   (:mod:`repro.exec`);
 * a caching, batching, thread-safe serving layer over an open index
   (:mod:`repro.service`);
+* horizontal partitioning by tree id: parallel multiprocess shard builds,
+  a self-describing manifest, and fan-out query execution
+  (:mod:`repro.shard`, :mod:`repro.exec.fanout`);
 * the baselines the paper compares against (:mod:`repro.baselines`);
 * the evaluation workloads and the experiment harness regenerating every
   table and figure of the paper (:mod:`repro.workloads`, :mod:`repro.bench`).
@@ -34,9 +37,10 @@ True
 from repro.coding import FilterBasedCoding, RootSplitCoding, SubtreeIntervalCoding, get_coding
 from repro.core import SubtreeIndex
 from repro.corpus import Corpus, CorpusGenerator, TreeStore, generate_corpus
-from repro.exec import QueryExecutor, QueryResult
+from repro.exec import FanoutExecutor, QueryExecutor, QueryResult
 from repro.query import QueryTree, min_rc, optimal_cover, parse_query
-from repro.service import QueryService
+from repro.service import QueryService, ShardedQueryService
+from repro.shard import ShardedIndex
 from repro.trees import Node, ParseTree, parse_penn, to_penn
 
 __version__ = "1.0.0"
@@ -66,4 +70,8 @@ __all__ = [
     "QueryExecutor",
     "QueryResult",
     "QueryService",
+    # Sharding
+    "ShardedIndex",
+    "ShardedQueryService",
+    "FanoutExecutor",
 ]

@@ -21,6 +21,7 @@ from repro.core.index import SubtreeIndex
 from repro.corpus.generator import CorpusGenerator
 from repro.corpus.store import Corpus, TreeStore
 from repro.exec.executor import QueryExecutor
+from repro.shard.sharded import ShardedIndex
 from repro.workloads.fb import FBQuerySet, generate_fb_queries
 from repro.workloads.wh import WHQuery, generate_wh_queries
 
@@ -33,6 +34,7 @@ class ExperimentContext:
     seed: int = 17
     _corpora: Dict[int, Corpus] = field(default_factory=dict)
     _indexes: Dict[Tuple[int, str, int], SubtreeIndex] = field(default_factory=dict)
+    _sharded: Dict[Tuple[int, str, int, int, int, str], ShardedIndex] = field(default_factory=dict)
     _node_indexes: Dict[int, NodeIntervalIndex] = field(default_factory=dict)
     _fb_sets: Dict[Tuple[int, int], FBQuerySet] = field(default_factory=dict)
     _stores: Dict[int, TreeStore] = field(default_factory=dict)
@@ -88,6 +90,38 @@ class ExperimentContext:
             self._indexes[key] = SubtreeIndex.build(corpus, mss=mss, coding=coding, path=path)
         return self._indexes[key]
 
+    def sharded_index(
+        self,
+        sentence_count: int,
+        coding: str,
+        mss: int,
+        shards: int,
+        workers: int = 1,
+        partitioner: str = "hash",
+    ) -> ShardedIndex:
+        """Build (or reuse) a sharded index for the given configuration.
+
+        Always built fresh on first use, so ``manifest.build_wall_seconds``
+        of the returned index is a valid build-time measurement for that
+        (shards, workers) configuration.
+        """
+        key = (sentence_count, coding, mss, shards, workers, partitioner)
+        if key not in self._sharded:
+            path = os.path.join(
+                self.workdir,
+                f"shard-{sentence_count}-{coding}-{mss}-n{shards}-w{workers}-{partitioner}.si",
+            )
+            self._sharded[key] = ShardedIndex.build(
+                self.corpus(sentence_count),
+                mss=mss,
+                coding=coding,
+                path=path,
+                shards=shards,
+                workers=workers,
+                partitioner=partitioner,
+            )
+        return self._sharded[key]
+
     def executor(self, sentence_count: int, coding: str, mss: int) -> QueryExecutor:
         """An executor over the cached index.
 
@@ -136,11 +170,14 @@ class ExperimentContext:
         """Close every cached index."""
         for index in self._indexes.values():
             index.close()
+        for sharded in self._sharded.values():
+            sharded.close()
         for index in self._node_indexes.values():
             index.close()
         for store in self._stores.values():
             store.close()
         self._indexes.clear()
+        self._sharded.clear()
         self._node_indexes.clear()
         self._stores.clear()
 

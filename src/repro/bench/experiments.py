@@ -20,6 +20,7 @@ from repro.core.stats import count_postings, count_unique_keys
 from repro.query.decompose import min_rc, optimal_cover
 from repro.query.model import QueryTree
 from repro.service.service import QueryService
+from repro.service.sharded import ShardedQueryService
 from repro.workloads.binning import MATCH_BINS, average, bin_for_match_count, group_by_query_size
 from repro.workloads.wh import WH_GROUPS, wh_queries_by_group
 
@@ -341,6 +342,106 @@ def table3_join_counts(
             si = average([float(len(optimal_cover(query, mss)) - 1) for query in queries])
             result.add_row(group, mss, rs, si)
     result.add_note("paper: optimalCover needs fewer joins; both decrease as mss grows")
+    return result
+
+
+# ----------------------------------------------------------------------
+# Sharding experiment: parallel build speedup and fan-out query latency
+# ----------------------------------------------------------------------
+def shard_scalability(
+    context: ExperimentContext,
+    sentence_count: int = 1_200,
+    shard_counts: Sequence[int] = (1, 2, 4, 8),
+    mss: int = 3,
+    coding: str = "root-split",
+    partitioner: str = "hash",
+    warm_passes: int = 2,
+) -> ExperimentResult:
+    """Build time and query latency of the WH workload at 1/2/4/8 shards.
+
+    For every shard count N the corpus is partitioned, built with N worker
+    processes (one per shard) and served through a fresh
+    :class:`ShardedQueryService`:
+
+    * **build_seconds** -- wall time of the whole sharded build (partition,
+      N parallel ``SubtreeIndex`` + ``TreeStore`` builds, manifest write);
+    * **build_speedup** -- the 1-shard build time divided by this row's
+      (> 1 means the parallel build won; bounded by the core count);
+    * **cold/warm_ms_per_query** -- fan-out latency of the WH workload with
+      empty caches and after *warm_passes* repetitions;
+    * **total_matches** -- summed over the workload; identical across rows
+      by the merge-correctness invariant, and asserted on by the benchmark.
+
+    The baseline row is the 1-shard configuration when present (one shard,
+    one worker, no pool -- the same work the unsharded builder does),
+    otherwise the smallest shard count requested.
+    """
+    result = ExperimentResult(
+        name="Shard scalability",
+        description=(
+            "Parallel build time and fan-out query latency of the sharded index "
+            f"({coding}, mss={mss}, {sentence_count} sentences, WH workload)"
+        ),
+        columns=[
+            "shards",
+            "workers",
+            "build_seconds",
+            "build_speedup",
+            "cold_ms_per_query",
+            "warm_ms_per_query",
+            "total_matches",
+        ],
+    )
+    queries = [item.query for item in context.wh_queries()]
+    # Build every configuration first so the speedup baseline exists no
+    # matter how shard_counts is ordered (or whether it includes 1 at all).
+    built = {
+        shards: context.sharded_index(
+            sentence_count, coding, mss, shards, workers=shards, partitioner=partitioner
+        )
+        for shards in shard_counts
+    }
+    baseline_shards = 1 if 1 in built else min(built)
+    base_build_seconds = built[baseline_shards].manifest.build_wall_seconds
+
+    for shards in shard_counts:
+        sharded = built[shards]
+        workers = shards
+        build_seconds = sharded.manifest.build_wall_seconds
+        sharded.reset_probe_stats()
+        service = ShardedQueryService(sharded)
+        try:
+            total_matches = 0
+            cold_started = time.perf_counter()
+            for query in queries:
+                total_matches += service.run(query).total_matches
+            cold_seconds = time.perf_counter() - cold_started
+
+            warm_started = time.perf_counter()
+            for _ in range(warm_passes):
+                for query in queries:
+                    service.run(query)
+            warm_seconds = (time.perf_counter() - warm_started) / warm_passes
+        finally:
+            service.close()
+
+        result.add_row(
+            shards,
+            workers,
+            build_seconds,
+            base_build_seconds / build_seconds if build_seconds else float("inf"),
+            cold_seconds * 1000 / len(queries),
+            warm_seconds * 1000 / len(queries),
+            total_matches,
+        )
+    result.add_note(
+        f"build_speedup is relative to the {baseline_shards}-shard build; "
+        "parallel gains require as many free cores as workers"
+    )
+    result.add_note(
+        "warm passes repeat the workload through the populated service caches "
+        "(plans, per-shard postings and results)"
+    )
     return result
 
 

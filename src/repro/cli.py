@@ -5,25 +5,31 @@ Four subcommands cover the everyday workflow:
 ``generate``
     sample a synthetic treebank and write it as bracketed Penn lines;
 ``build``
-    build a subtree index (and the data file) over a Penn corpus file;
+    build a subtree index (and the data file) over a Penn corpus file --
+    optionally sharded (``--shards N``) with parallel worker processes;
 ``query``
-    evaluate one or more queries against a built index;
+    evaluate one or more queries against a built index (plain or sharded);
 ``stats``
-    print metadata and key statistics of a built index.
+    print metadata and key statistics of a built index (``--json`` for a
+    machine-readable dump, including the per-shard breakdown).
 
 Example session::
 
     python -m repro.cli generate --sentences 1000 --out corpus.penn
     python -m repro.cli build corpus.penn --mss 3 --coding root-split --out corpus.si
+    python -m repro.cli build corpus.penn --shards 4 --workers 4 --out big.si
     python -m repro.cli query corpus.si "NP(DT)(NN)" "S(NP)(VP(VBZ))"
+    python -m repro.cli query big.si.manifest.json "NP(DT)(NN)"
     python -m repro.cli query corpus.si "NP(DT)(NN)" --repeat 50 --cache-stats
     python -m repro.cli query corpus.si "NP(DT)" "NP(DT)(NN)" --batch
-    python -m repro.cli stats corpus.si
+    python -m repro.cli stats corpus.si --json
 """
 
 from __future__ import annotations
 
 import argparse
+import json
+import os
 import sys
 import time
 from typing import List, Optional, Sequence
@@ -33,6 +39,7 @@ from repro.core.index import SubtreeIndex
 from repro.corpus.generator import CorpusGenerator
 from repro.corpus.store import Corpus, TreeStore, data_file_path
 from repro.service.service import QueryService
+from repro.shard import ShardedIndex, ShardError, partitioner_names
 from repro.storage.bptree import BPlusTreeError
 from repro.storage.pager import PageError
 
@@ -50,8 +57,48 @@ def cmd_generate(args: argparse.Namespace) -> int:
 
 
 def cmd_build(args: argparse.Namespace) -> int:
-    """Build a subtree index over a Penn-bracket corpus file."""
+    """Build a (possibly sharded) subtree index over a Penn corpus file."""
+    if args.mss < 1:
+        print(f"error: --mss must be at least 1, got {args.mss}", file=sys.stderr)
+        return 2
+    if args.shards < 1:
+        print(f"error: --shards must be at least 1, got {args.shards}", file=sys.stderr)
+        return 2
+    if args.workers is not None and args.workers < 1:
+        print(f"error: --workers must be at least 1, got {args.workers}", file=sys.stderr)
+        return 2
+    if not os.path.isfile(args.corpus):
+        print(f"error: corpus file not found: {args.corpus!r}", file=sys.stderr)
+        return 2
+    if args.shards == 1 and (args.workers is not None or args.partitioner is not None):
+        print(
+            "warning: --workers/--partitioner only apply to sharded builds; "
+            "pass --shards N (> 1) for a parallel build",
+            file=sys.stderr,
+        )
     corpus = Corpus.load(args.corpus)
+
+    if args.shards > 1:
+        index = ShardedIndex.build(
+            corpus,
+            mss=args.mss,
+            coding=args.coding,
+            path=args.out,
+            shards=args.shards,
+            workers=args.workers,
+            partitioner=args.partitioner or "hash",
+        )
+        manifest = index.manifest
+        print(
+            f"built {args.coding} index over {len(corpus)} trees in "
+            f"{manifest.shard_count} shards ({manifest.partitioner} partitioner): "
+            f"{index.key_count:,} keys, {index.posting_count:,} postings, "
+            f"{index.size_bytes():,} bytes, {manifest.build_wall_seconds:.2f}s wall"
+        )
+        print(f"manifest: {index.manifest_path}")
+        index.close()
+        return 0
+
     index = SubtreeIndex.build(corpus, mss=args.mss, coding=args.coding, path=args.out)
     TreeStore.build(data_file_path(args.out), corpus).close()
     print(
@@ -85,7 +132,7 @@ def cmd_query(args: argparse.Namespace) -> int:
         service = QueryService.open(
             args.index, result_cache_size=0 if args.repeat > 1 else 1024
         )
-    except (OSError, ValueError, BPlusTreeError, PageError) as error:
+    except (OSError, ValueError, ShardError, BPlusTreeError, PageError) as error:
         print(f"error: cannot open index {args.index!r}: {error}", file=sys.stderr)
         return 2
 
@@ -141,22 +188,82 @@ def cmd_query(args: argparse.Namespace) -> int:
     return status
 
 
+def _stats_payload(path: str, index) -> dict:
+    """The machine-readable metadata of *index* (plain or sharded)."""
+    meta = index.metadata
+    payload = {
+        "index": path,
+        "coding": meta.coding,
+        "mss": meta.mss,
+        "tree_count": meta.tree_count,
+        "key_count": meta.key_count,
+        "posting_count": meta.posting_count,
+        "size_bytes": index.size_bytes(),
+        "build_seconds": meta.build_seconds,
+        "sharded": isinstance(index, ShardedIndex),
+        # A key indexed by k shards counts k times in a sharded index's
+        # key_count; "distinct" means the global unique-subtree count.
+        "key_count_semantics": (
+            "per-shard-sum" if isinstance(index, ShardedIndex) else "distinct"
+        ),
+    }
+    if isinstance(index, ShardedIndex):
+        manifest = index.manifest
+        payload["partitioner"] = manifest.partitioner
+        payload["shard_count"] = manifest.shard_count
+        payload["shards"] = [
+            {
+                "shard_id": shard.shard_id,
+                "index_path": shard.entry.index_path,
+                "tree_count": shard.entry.tree_count,
+                "key_count": shard.entry.key_count,
+                "posting_count": shard.entry.posting_count,
+                "size_bytes": shard.index.size_bytes(),
+                "build_seconds": shard.entry.build_seconds,
+            }
+            for shard in index.shards
+        ]
+    return payload
+
+
 def cmd_stats(args: argparse.Namespace) -> int:
     """Print metadata and the largest posting lists of an index."""
     try:
-        index = SubtreeIndex.open(args.index)
-    except (OSError, ValueError, BPlusTreeError, PageError) as error:
+        index = SubtreeIndex.open(args.index)  # dispatches to ShardedIndex
+    except (OSError, ValueError, ShardError, BPlusTreeError, PageError) as error:
         print(f"error: cannot open index {args.index!r}: {error}", file=sys.stderr)
         return 2
+
+    if args.json:
+        print(json.dumps(_stats_payload(args.index, index), indent=2))
+        index.close()
+        return 0
+
     meta = index.metadata
+    sharded = isinstance(index, ShardedIndex)
     print(f"index file      : {args.index}")
     print(f"coding          : {meta.coding}")
     print(f"mss             : {meta.mss}")
     print(f"trees indexed   : {meta.tree_count:,}")
-    print(f"unique keys     : {meta.key_count:,}")
+    if sharded:
+        # A key indexed by several shards counts once per shard.
+        print(f"keys (shard sum): {meta.key_count:,}")
+    else:
+        print(f"unique keys     : {meta.key_count:,}")
     print(f"total postings  : {meta.posting_count:,}")
     print(f"size on disk    : {index.size_bytes():,} bytes")
     print(f"build time      : {meta.build_seconds:.2f} s")
+    if sharded:
+        manifest = index.manifest
+        print(f"shards          : {manifest.shard_count} ({manifest.partitioner} partitioner)")
+        print("  id  trees    keys      postings   bytes        build s")
+        for shard in index.shards:
+            entry = shard.entry
+            print(
+                f"  {shard.shard_id:<3d} {entry.tree_count:<8,} {entry.key_count:<9,} "
+                f"{entry.posting_count:<10,} {shard.index.size_bytes():<12,} "
+                f"{entry.build_seconds:.2f}"
+            )
     if args.top:
         ranked = sorted(
             ((len(postings), key) for key, postings in index.items()), reverse=True
@@ -189,7 +296,19 @@ def build_parser() -> argparse.ArgumentParser:
     build.add_argument("corpus", help="Penn-bracket corpus file (one tree per line)")
     build.add_argument("--mss", type=int, default=3, help="maximum subtree size")
     build.add_argument("--coding", choices=coding_names(), default="root-split")
-    build.add_argument("--out", required=True, help="output index file")
+    build.add_argument("--out", required=True, help="output index file (manifest when sharded)")
+    build.add_argument(
+        "--shards", type=int, default=1,
+        help="partition the index into N shards (writes <out>.manifest.json + shard files)",
+    )
+    build.add_argument(
+        "--workers", type=int, default=None,
+        help="parallel build processes (default: one per shard, capped at the core count)",
+    )
+    build.add_argument(
+        "--partitioner", choices=partitioner_names(), default=None,
+        help="tid -> shard policy for --shards > 1 (default: hash)",
+    )
     build.set_defaults(func=cmd_build)
 
     query = subparsers.add_parser("query", help="evaluate queries against an index")
@@ -212,8 +331,12 @@ def build_parser() -> argparse.ArgumentParser:
     query.set_defaults(func=cmd_query)
 
     stats = subparsers.add_parser("stats", help="print statistics of a built index")
-    stats.add_argument("index", help="index file")
+    stats.add_argument("index", help="index file or sharded-index manifest")
     stats.add_argument("--top", type=int, default=0, help="show the N longest posting lists")
+    stats.add_argument(
+        "--json", action="store_true",
+        help="emit machine-readable JSON (with a per-shard breakdown when sharded)",
+    )
     stats.set_defaults(func=cmd_stats)
 
     return parser

@@ -118,10 +118,22 @@ class SubtreeIndex:
 
     @classmethod
     def open(cls, path: str) -> "SubtreeIndex":
-        """Open an existing index file."""
+        """Open an existing index file.
+
+        Pointed at a sharded-index manifest (``*.manifest.json``, sniffed by
+        content rather than filename), this transparently returns a
+        :class:`~repro.shard.sharded.ShardedIndex`, which presents the same
+        read API over all shards.
+        """
         if not os.path.exists(path):
             # BPlusTree initialises missing files; opening an index must not.
             raise FileNotFoundError(f"no such index file: {path}")
+        from repro.shard.manifest import is_manifest  # local: shard builds on core
+
+        if is_manifest(path):
+            from repro.shard.sharded import ShardedIndex
+
+            return ShardedIndex.open(path)  # type: ignore[return-value]
         btree = BPlusTree(path)
         raw = btree.get(_META_KEY)
         if raw is None:

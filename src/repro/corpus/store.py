@@ -19,6 +19,7 @@ from __future__ import annotations
 import io
 import os
 import struct
+import threading
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence
 
 from repro.trees.node import ParseTree
@@ -122,12 +123,18 @@ class TreeStore:
     An in-memory offset table provides O(1) random access by tree id, which
     is what the filtering phase needs: fetch candidate trees by tid and run
     the exact matcher over them.
+
+    Record access goes through one shared file handle whose seek+read (and
+    seek+write) pairs are serialised by a lock, so concurrent ``get`` calls
+    -- e.g. filtering phases fanning out across threads -- never interleave
+    on the handle.  Parsing happens outside the lock.
     """
 
     def __init__(self, path: str | os.PathLike):
         self.path = os.fspath(path)
         self._offsets: Dict[int, int] = {}
         self._file: Optional[io.BufferedRandom] = None
+        self._lock = threading.Lock()
         if os.path.exists(self.path):
             self._open()
             self._build_offset_table()
@@ -158,11 +165,12 @@ class TreeStore:
         """Append one tree to the data file."""
         assert self._file is not None
         payload = to_penn(tree.root).encode("utf-8")
-        self._file.seek(0, os.SEEK_END)
-        offset = self._file.tell()
-        self._file.write(_HEADER.pack(tree.tid, len(payload)))
-        self._file.write(payload)
-        self._offsets[tree.tid] = offset
+        with self._lock:
+            self._file.seek(0, os.SEEK_END)
+            offset = self._file.tell()
+            self._file.write(_HEADER.pack(tree.tid, len(payload)))
+            self._file.write(payload)
+            self._offsets[tree.tid] = offset
 
     def extend(self, trees: Iterable[ParseTree]) -> None:
         """Append many trees."""
@@ -170,16 +178,17 @@ class TreeStore:
             self.append(tree)
 
     def get(self, tid: int) -> ParseTree:
-        """Fetch and re-parse the tree with identifier *tid*."""
+        """Fetch and re-parse the tree with identifier *tid* (thread-safe)."""
         assert self._file is not None
         try:
             offset = self._offsets[tid]
         except KeyError:
             raise KeyError(f"no tree with tid {tid}") from None
-        self._file.seek(offset)
-        header = self._file.read(_HEADER.size)
-        stored_tid, length = _HEADER.unpack(header)
-        payload = self._file.read(length).decode("utf-8")
+        with self._lock:
+            self._file.seek(offset)
+            header = self._file.read(_HEADER.size)
+            stored_tid, length = _HEADER.unpack(header)
+            payload = self._file.read(length).decode("utf-8")
         return ParseTree(parse_penn(payload), tid=stored_tid)
 
     def get_many(self, tids: Sequence[int]) -> List[ParseTree]:
@@ -188,6 +197,27 @@ class TreeStore:
 
     def __contains__(self, tid: int) -> bool:
         return tid in self._offsets
+
+    def __iter__(self) -> Iterator[ParseTree]:
+        """Stream every tree in :meth:`tids` order without materialising the store.
+
+        Walks the offset table on a dedicated read handle, so iteration
+        neither builds a list (unlike ``get_many(tids())``) nor disturbs the
+        seek position used by concurrent :meth:`get` calls, and it always
+        agrees with :meth:`get` -- including for a tid whose record was
+        re-appended (the superseded physical record is skipped).  Offsets
+        are ascending for append-only stores, so the pass stays sequential.
+        Records appended after the iterator was created are not yielded.
+        """
+        self.flush()
+        offsets = list(self._offsets.values())
+        with open(self.path, "rb") as handle:
+            for offset in offsets:
+                handle.seek(offset)
+                header = handle.read(_HEADER.size)
+                tid, length = _HEADER.unpack(header)
+                payload = handle.read(length).decode("utf-8")
+                yield ParseTree(parse_penn(payload), tid=tid)
 
     def __len__(self) -> int:
         return len(self._offsets)

@@ -10,8 +10,13 @@
   wrapper around them (including the filtering phase of the filter-based
   coding) and the result/statistics containers.  The stages are separable so
   :mod:`repro.service` can cache and batch them independently.
+* :mod:`repro.exec.fanout` -- per-shard execution over a
+  :class:`~repro.shard.sharded.ShardedIndex`: decompose once, fetch + join
+  on every shard in parallel, merge results in global tid order
+  (``FanoutExecutor`` and the shared ``execute_on_shards`` machinery).
 """
 
+from repro.exec.fanout import FanoutExecutor, execute_on_shards, merge_shard_results
 from repro.exec.executor import (
     ExecutionStats,
     QueryExecutor,
@@ -36,4 +41,7 @@ __all__ = [
     "build_plan",
     "merge_join_bindings",
     "intersect_sorted_tid_lists",
+    "FanoutExecutor",
+    "execute_on_shards",
+    "merge_shard_results",
 ]

@@ -1,0 +1,191 @@
+"""Fan-out query execution over a sharded index.
+
+The merged-lookup path (:meth:`repro.shard.sharded.ShardedIndex.lookup`)
+globalises posting lists *before* the join, so one join processes the whole
+corpus.  Fan-out inverts that: stage 1 (decomposition) runs once globally --
+every shard shares the index's ``mss`` and coding, so the cover is the same
+everywhere -- and stages 2 and 3 (fetch + join) run *per shard* over that
+shard's much smaller posting lists, on a thread pool.  Per-shard results
+have disjoint tree ids, so the global answer is a cheap merge of the final
+match dictionaries in ascending tid order; the per-posting k-way merge never
+happens.
+
+:func:`execute_on_shards` is the shared machinery; it is parameterised by a
+``fetch`` function so :class:`repro.service.sharded.ShardedQueryService` can
+route fetches through per-shard caches and batch memos.
+:class:`FanoutExecutor` is the uncached one-shot wrapper, the sharded
+counterpart of :class:`~repro.exec.executor.QueryExecutor`.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ThreadPoolExecutor
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from repro.coding.base import CodingScheme
+from repro.exec.executor import (
+    ExecutionStats,
+    QueryResult,
+    decompose_query,
+    default_strategy,
+    join_postings,
+)
+from repro.query.covers import Cover
+from repro.query.model import QueryTree
+
+#: Fetches one key's postings *within one shard*: ``(shard, key) -> postings``.
+ShardFetcher = Callable[[object, bytes], List[object]]
+
+
+def make_fanout_pool(
+    shard_count: int,
+    max_threads: Optional[int] = None,
+    thread_name_prefix: str = "fanout",
+) -> Optional[ThreadPoolExecutor]:
+    """A thread pool sized for per-shard fan-out, or ``None`` when inline
+    execution suffices (a single shard, or a width of 1).
+
+    The default width is the shard count capped at 16; both
+    :class:`FanoutExecutor` and the sharded service size their pools here so
+    the policy cannot diverge.
+    """
+    width = max_threads if max_threads is not None else min(shard_count, 16)
+    if shard_count > 1 and width > 1:
+        return ThreadPoolExecutor(max_workers=width, thread_name_prefix=thread_name_prefix)
+    return None
+
+
+def finish_stats(
+    stats: ExecutionStats,
+    coding: CodingScheme,
+    strategy: str,
+    started: float,
+) -> ExecutionStats:
+    """Stamp the plan/timing fields a fan-out execution shares with its caller."""
+    stats.coding = coding.name
+    stats.strategy = strategy
+    stats.elapsed_seconds = time.perf_counter() - started
+    return stats
+
+
+def merge_shard_results(results: Sequence[QueryResult]) -> QueryResult:
+    """Merge per-shard results into one, ascending in tree id.
+
+    Shards partition the corpus by tid, so the per-shard match dictionaries
+    are disjoint; merging is concatenation plus a sort of the (tid, count)
+    pairs.  The merged dictionary's insertion order is the global tid order,
+    matching what a single-shard execution produces.
+    """
+    pairs: List[Tuple[int, int]] = []
+    for result in results:
+        pairs.extend(result.matches_per_tree.items())
+    pairs.sort()
+    return QueryResult(matches_per_tree=dict(pairs))
+
+
+def _default_fetch(shard: object, key: bytes) -> List[object]:
+    return shard.index.lookup(key)
+
+
+def execute_on_shards(
+    query: QueryTree,
+    cover: Cover,
+    key_bytes: Sequence[bytes],
+    shards: Sequence[object],
+    coding: CodingScheme,
+    pool: Optional[ThreadPoolExecutor] = None,
+    fetch: Optional[ShardFetcher] = None,
+) -> Tuple[QueryResult, ExecutionStats]:
+    """Run stages 2+3 on every shard and merge the results.
+
+    *shards* are :class:`~repro.shard.sharded.ShardHandle` objects (anything
+    with ``.index`` and ``.store`` works).  *fetch* defaults to the shard
+    index's own ``lookup``.  Returns the merged result plus an
+    :class:`ExecutionStats` carrying the summed fetch/filter counters; the
+    caller fills in the timing and plan fields.
+    """
+    fetcher = fetch if fetch is not None else _default_fetch
+
+    def run_shard(shard: object) -> Tuple[QueryResult, int, int]:
+        postings = [fetcher(shard, key) for key in key_bytes]
+        stats = ExecutionStats()
+        result = join_postings(
+            query, cover, postings, coding, store=shard.store, stats=stats
+        )
+        fetched = sum(len(plist) for plist in postings)
+        return result, fetched, stats.candidates_filtered
+
+    if pool is not None and len(shards) > 1:
+        per_shard = list(pool.map(run_shard, shards))
+    else:
+        per_shard = [run_shard(shard) for shard in shards]
+
+    totals = ExecutionStats(
+        cover_size=len(cover),
+        join_count=cover.join_count,
+        postings_fetched=sum(fetched for _, fetched, _ in per_shard),
+        candidates_filtered=sum(filtered for _, _, filtered in per_shard),
+    )
+    return merge_shard_results([result for result, _, _ in per_shard]), totals
+
+
+class FanoutExecutor:
+    """Uncached per-shard execution over a :class:`ShardedIndex`.
+
+    Decomposes once, fans stages 2+3 out to a thread pool sized to the shard
+    count, and merges.  The sharded analogue of
+    :class:`~repro.exec.executor.QueryExecutor`; for cached serving use
+    :class:`repro.service.sharded.ShardedQueryService`.
+
+    Parameters
+    ----------
+    sharded:
+        An open :class:`~repro.shard.sharded.ShardedIndex`.
+    strategy / pad:
+        Decomposition knobs, as on ``QueryExecutor``.
+    max_threads:
+        Pool width; defaults to the shard count (capped at 16).  A single
+        shard runs inline with no pool.
+    """
+
+    def __init__(
+        self,
+        sharded,
+        strategy: Optional[str] = None,
+        pad: bool = True,
+        max_threads: Optional[int] = None,
+    ):
+        self.sharded = sharded
+        self.pad = pad
+        self.strategy = strategy if strategy is not None else default_strategy(sharded.coding)
+        self._pool = make_fanout_pool(sharded.shard_count, max_threads)
+
+    # ------------------------------------------------------------------
+    def decompose(self, query: QueryTree) -> Cover:
+        """The (global) cover this executor uses for *query*."""
+        return decompose_query(query, self.sharded.mss, self.strategy, pad=self.pad)
+
+    def execute(self, query: QueryTree) -> QueryResult:
+        """Evaluate *query* across all shards and return the merged result."""
+        started = time.perf_counter()
+        cover = self.decompose(query)
+        keys = [subtree.key_bytes() for subtree in cover.subtrees]
+        result, stats = execute_on_shards(
+            query, cover, keys, self.sharded.shards, self.sharded.coding, pool=self._pool
+        )
+        result.stats = finish_stats(stats, self.sharded.coding, self.strategy, started)
+        return result
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Shut the thread pool down (the index stays open)."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    def __enter__(self) -> "FanoutExecutor":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

@@ -7,15 +7,27 @@
   open index (plus its data file) and serves repeated and concurrent
   queries through those caches, including the batch API
   :meth:`QueryService.run_many`.
+* :mod:`repro.service.sharded` -- :class:`ShardedQueryService`, the same
+  semantics over a :class:`~repro.shard.sharded.ShardedIndex`: one global
+  plan/result cache, a posting cache *per shard*, and fan-out execution.
+  ``QueryService.open`` dispatches here automatically for manifests.
 """
 
 from repro.service.cache import CacheStats, LRUCache, StripedLRUCache
 from repro.service.service import PreparedQuery, QueryService, ServiceStats
+from repro.service.sharded import (
+    ShardedQueryService,
+    ShardedServiceStats,
+    ShardLayerStats,
+)
 
 __all__ = [
     "QueryService",
+    "ShardedQueryService",
     "PreparedQuery",
     "ServiceStats",
+    "ShardedServiceStats",
+    "ShardLayerStats",
     "LRUCache",
     "StripedLRUCache",
     "CacheStats",

@@ -107,9 +107,10 @@ class QueryService:
         An open :class:`~repro.core.index.SubtreeIndex`.
     store:
         Data file or in-memory corpus; required for filter-based coding.
-        For *concurrent* filter-based serving pass an in-memory
-        :class:`~repro.corpus.store.Corpus` -- an on-disk ``TreeStore``
-        shares one unsynchronised file handle across threads.
+        Both are safe under concurrency (``TreeStore`` serialises record
+        reads on its shared handle); an in-memory
+        :class:`~repro.corpus.store.Corpus` avoids that lock entirely for
+        heavily threaded filter-based serving.
     strategy / pad:
         Decomposition knobs, as on :class:`~repro.exec.executor.QueryExecutor`.
     plan_cache_size / postings_cache_size / result_cache_size:
@@ -160,8 +161,17 @@ class QueryService:
     def open(cls, index_path: str, **kwargs: object) -> "QueryService":
         """Open an index file (and its ``.data`` file, if present) for serving.
 
-        The service owns what it opens: :meth:`close` releases both files.
+        Pointed at a sharded-index manifest, this returns a
+        :class:`~repro.service.sharded.ShardedQueryService` instead, which
+        serves the same API with per-shard fan-out and caching.  The service
+        owns what it opens: :meth:`close` releases every file.
         """
+        from repro.shard.manifest import is_manifest  # local: shard builds on service
+
+        if cls is QueryService and is_manifest(index_path):
+            from repro.service.sharded import ShardedQueryService
+
+            return ShardedQueryService.open(index_path, **kwargs)
         index = SubtreeIndex.open(index_path)  # raises FileNotFoundError if missing
         data_path = data_file_path(index_path)
         store = TreeStore(data_path) if os.path.exists(data_path) else None

@@ -1,0 +1,54 @@
+"""Horizontal partitioning of the subtree index by tree id.
+
+* :mod:`repro.shard.partitioner` -- the tid -> shard policies
+  (``round-robin`` and stable-``hash``).
+* :mod:`repro.shard.manifest` -- the self-describing JSON manifest that
+  ties N shard files into one openable index, and manifest sniffing.
+* :mod:`repro.shard.builder` -- parallel shard construction via
+  ``ProcessPoolExecutor`` (one complete ``SubtreeIndex`` + ``TreeStore``
+  per shard).
+* :mod:`repro.shard.sharded` -- :class:`ShardedIndex`, the merged
+  SubtreeIndex-compatible view over the shards, plus the tid-routed
+  :class:`ShardedTreeStore`.
+
+Query-side fan-out lives with the other executors
+(:mod:`repro.exec.fanout`) and the sharded serving layer with the other
+services (:mod:`repro.service.sharded`).
+"""
+
+from repro.shard.builder import build_sharded, default_worker_count, partition_corpus
+from repro.shard.manifest import (
+    MANIFEST_SUFFIX,
+    ShardEntry,
+    ShardError,
+    ShardManifest,
+    is_manifest,
+)
+from repro.shard.partitioner import (
+    HashPartitioner,
+    Partitioner,
+    RoundRobinPartitioner,
+    get_partitioner,
+    partitioner_names,
+)
+from repro.shard.sharded import ShardedIndex, ShardedTreeStore, ShardHandle, open_index
+
+__all__ = [
+    "ShardedIndex",
+    "ShardedTreeStore",
+    "ShardHandle",
+    "open_index",
+    "build_sharded",
+    "partition_corpus",
+    "default_worker_count",
+    "ShardManifest",
+    "ShardEntry",
+    "ShardError",
+    "is_manifest",
+    "MANIFEST_SUFFIX",
+    "Partitioner",
+    "RoundRobinPartitioner",
+    "HashPartitioner",
+    "get_partitioner",
+    "partitioner_names",
+]

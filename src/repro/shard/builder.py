@@ -1,0 +1,189 @@
+"""Parallel construction of a sharded index.
+
+The build partitions the corpus by tree id, hands each shard's trees to a
+worker and writes one ``SubtreeIndex`` + ``TreeStore`` pair per shard, then
+records the manifest.  Workers are separate *processes*
+(:class:`concurrent.futures.ProcessPoolExecutor`): subtree enumeration and
+posting encoding are pure Python and CPU-bound, so threads would serialise
+on the GIL.  Trees cross the process boundary as Penn-bracket text -- the
+corpus's own serialisation -- which is compact, picklable and reparsed by
+the worker into interval-numbered trees identical to the parent's.
+
+``workers=1`` (or a single shard) builds inline in the calling process with
+no pool at all, which is both the degenerate-correctness path the merge
+tests rely on and the sensible default on single-core machines.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.coding.base import CodingScheme
+from repro.core.index import SubtreeIndex
+from repro.corpus.store import TreeStore, data_file_path
+from repro.shard.manifest import (
+    MANIFEST_SUFFIX,
+    ShardEntry,
+    ShardManifest,
+    shard_file_paths,
+)
+from repro.shard.partitioner import Partitioner, get_partitioner
+from repro.trees.node import ParseTree
+from repro.trees.penn import parse_penn, to_penn
+
+#: One shard's build order for a *worker process*: (shard_id, index path,
+#: mss, coding name, records), where records are ``(tid, penn line)`` pairs.
+_ShardJob = Tuple[int, str, int, str, List[Tuple[int, str]]]
+
+
+def _build_shard_trees(
+    shard_id: int,
+    index_path: str,
+    mss: int,
+    coding_name: str,
+    trees: Sequence[ParseTree],
+) -> Dict[str, object]:
+    """Build one shard's index and data file over already-parsed trees.
+
+    Returns the counters the manifest records for this shard.
+    """
+    started = time.perf_counter()
+    index = SubtreeIndex.build(trees, mss=mss, coding=coding_name, path=index_path)
+    TreeStore.build(data_file_path(index_path), trees).close()
+    counters = {
+        "shard_id": shard_id,
+        "tree_count": index.metadata.tree_count,
+        "key_count": index.metadata.key_count,
+        "posting_count": index.metadata.posting_count,
+        "build_seconds": time.perf_counter() - started,
+    }
+    index.close()
+    return counters
+
+
+def _build_shard(job: _ShardJob) -> Dict[str, object]:
+    """Worker-process entry point: reparse the shipped Penn lines and build.
+
+    Module-level (not a closure) so :mod:`pickle` can ship it to the pool.
+    The inline path calls :func:`_build_shard_trees` directly and never pays
+    this serialise/reparse round trip.
+    """
+    shard_id, index_path, mss, coding_name, records = job
+    trees = [ParseTree(parse_penn(text), tid=tid) for tid, text in records]
+    return _build_shard_trees(shard_id, index_path, mss, coding_name, trees)
+
+
+def default_worker_count(shard_count: int) -> int:
+    """One worker per shard, capped at the machine's core count."""
+    return max(1, min(shard_count, os.cpu_count() or 1))
+
+
+def partition_corpus(
+    trees: Iterable[ParseTree],
+    partitioner: Partitioner,
+) -> List[List[ParseTree]]:
+    """Split *trees* into per-shard lists.
+
+    Trees arrive in corpus order and each shard receives its subset in that
+    same order, so per-shard posting lists stay ascending in tid -- the
+    invariant the query-time merge relies on.
+    """
+    per_shard: List[List[ParseTree]] = [[] for _ in range(partitioner.shard_count)]
+    for tree in trees:
+        per_shard[partitioner.assign(tree.tid)].append(tree)
+    return per_shard
+
+
+def build_sharded(
+    trees: Iterable[ParseTree],
+    mss: int,
+    coding: CodingScheme | str,
+    path: str,
+    shards: int,
+    workers: Optional[int] = None,
+    partitioner: str | Partitioner = "hash",
+) -> str:
+    """Build a sharded index at manifest *path*; returns the manifest path.
+
+    *path* is the manifest file; :data:`MANIFEST_SUFFIX` is appended when
+    missing so ``corpus.si`` becomes ``corpus.si.manifest.json``.  Shard
+    files are written next to it.  *workers* defaults to one process per
+    shard capped at the core count; ``workers=1`` builds inline.
+    """
+    coding_name = coding if isinstance(coding, str) else coding.name
+    if isinstance(partitioner, str):
+        partitioner = get_partitioner(partitioner, shards)
+    elif partitioner.shard_count != shards:
+        raise ValueError(
+            f"partitioner is sized for {partitioner.shard_count} shards, "
+            f"but {shards} shards were requested"
+        )
+    if workers is None:
+        workers = default_worker_count(shards)
+    if workers < 1:
+        raise ValueError(f"worker count must be at least 1, got {workers}")
+    if not path.endswith(MANIFEST_SUFFIX):
+        path = path + MANIFEST_SUFFIX
+
+    started = time.perf_counter()
+    per_shard = partition_corpus(trees, partitioner)
+    manifest_dir = os.path.dirname(os.path.abspath(path))
+    os.makedirs(manifest_dir, exist_ok=True)
+
+    shard_paths: List[str] = []
+    names: List[Tuple[str, str]] = []
+    for shard_id in range(shards):
+        index_name, data_name = shard_file_paths(path, shard_id)
+        index_path = os.path.join(manifest_dir, index_name)
+        if os.path.exists(index_path):  # rebuilds must not append to old files
+            os.remove(index_path)
+        shard_paths.append(index_path)
+        names.append((index_name, data_name))
+
+    if workers == 1 or shards == 1:
+        # Inline: hand the parsed trees straight to the builder, skipping
+        # the Penn serialise/reparse round trip the pool path needs.
+        counters = [
+            _build_shard_trees(shard_id, shard_paths[shard_id], mss, coding_name, shard_trees)
+            for shard_id, shard_trees in enumerate(per_shard)
+        ]
+    else:
+        jobs: List[_ShardJob] = [
+            (
+                shard_id,
+                shard_paths[shard_id],
+                mss,
+                coding_name,
+                [(tree.tid, to_penn(tree.root)) for tree in shard_trees],
+            )
+            for shard_id, shard_trees in enumerate(per_shard)
+        ]
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            counters = list(pool.map(_build_shard, jobs))
+
+    entries = [
+        ShardEntry(
+            shard_id=result["shard_id"],
+            index_path=names[result["shard_id"]][0],
+            data_path=names[result["shard_id"]][1],
+            tree_count=result["tree_count"],
+            key_count=result["key_count"],
+            posting_count=result["posting_count"],
+            build_seconds=result["build_seconds"],
+        )
+        for result in sorted(counters, key=lambda item: item["shard_id"])
+    ]
+    manifest = ShardManifest(
+        mss=mss,
+        coding=coding_name,
+        partitioner=partitioner.name,
+        shard_count=shards,
+        tree_count=sum(entry.tree_count for entry in entries),
+        build_wall_seconds=time.perf_counter() - started,
+        shards=entries,
+    )
+    manifest.save(path)
+    return path

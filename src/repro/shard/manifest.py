@@ -1,0 +1,158 @@
+"""The sharded-index manifest: one JSON file describing N shard files.
+
+A sharded index is a set of per-shard ``SubtreeIndex`` files (plus their
+``.data`` tree stores) tied together by a manifest.  The manifest is the
+openable object: pointing :meth:`repro.core.index.SubtreeIndex.open`, the
+CLI or :meth:`repro.service.QueryService.open` at it transparently yields
+the sharded implementations.  Shard paths are stored relative to the
+manifest's directory so the whole bundle can be moved or copied as one.
+
+Format (``<name>.manifest.json``)::
+
+    {
+      "format": "repro-sharded-index",
+      "version": 1,
+      "mss": 3,
+      "coding": "root-split",
+      "partitioner": "hash",
+      "shard_count": 4,
+      "tree_count": 1200,
+      "build_wall_seconds": 1.87,
+      "shards": [
+        {"shard_id": 0, "index_path": "corpus.shard00.si",
+         "data_path": "corpus.shard00.si.data", "tree_count": 301,
+         "key_count": 9120, "posting_count": 60233, "build_seconds": 0.95},
+        ...
+      ]
+    }
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import asdict, dataclass, field
+from typing import List
+
+#: Identifies a manifest file regardless of its filename.
+MANIFEST_FORMAT = "repro-sharded-index"
+MANIFEST_VERSION = 1
+#: Conventional filename suffix of a manifest.
+MANIFEST_SUFFIX = ".manifest.json"
+
+
+class ShardError(RuntimeError):
+    """A shard file is missing, corrupt, or inconsistent with its manifest."""
+
+
+@dataclass
+class ShardEntry:
+    """One shard's files and build counters, as recorded in the manifest."""
+
+    shard_id: int
+    index_path: str  # relative to the manifest directory
+    data_path: str   # relative to the manifest directory
+    tree_count: int
+    key_count: int
+    posting_count: int
+    build_seconds: float
+
+
+@dataclass
+class ShardManifest:
+    """The parsed contents of a sharded-index manifest file."""
+
+    mss: int
+    coding: str
+    partitioner: str
+    shard_count: int
+    tree_count: int
+    build_wall_seconds: float
+    shards: List[ShardEntry] = field(default_factory=list)
+
+    # ------------------------------------------------------------------
+    def to_json(self) -> str:
+        payload = {
+            "format": MANIFEST_FORMAT,
+            "version": MANIFEST_VERSION,
+            "mss": self.mss,
+            "coding": self.coding,
+            "partitioner": self.partitioner,
+            "shard_count": self.shard_count,
+            "tree_count": self.tree_count,
+            "build_wall_seconds": self.build_wall_seconds,
+            "shards": [asdict(entry) for entry in self.shards],
+        }
+        return json.dumps(payload, indent=2) + "\n"
+
+    def save(self, path: str) -> None:
+        """Write the manifest to *path*."""
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(self.to_json())
+
+    @classmethod
+    def load(cls, path: str) -> "ShardManifest":
+        """Read and validate a manifest written by :meth:`save`."""
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                payload = json.load(handle)
+        except (OSError, ValueError) as error:
+            raise ShardError(f"cannot read shard manifest {path!r}: {error}") from error
+        if payload.get("format") != MANIFEST_FORMAT:
+            raise ShardError(f"{path!r} is not a sharded-index manifest")
+        version = payload.get("version")
+        if version != MANIFEST_VERSION:
+            raise ShardError(
+                f"unsupported manifest version {version!r} in {path!r} "
+                f"(this build reads version {MANIFEST_VERSION})"
+            )
+        manifest = cls(
+            mss=payload["mss"],
+            coding=payload["coding"],
+            partitioner=payload["partitioner"],
+            shard_count=payload["shard_count"],
+            tree_count=payload["tree_count"],
+            build_wall_seconds=payload["build_wall_seconds"],
+            shards=[ShardEntry(**entry) for entry in payload["shards"]],
+        )
+        if len(manifest.shards) != manifest.shard_count:
+            raise ShardError(
+                f"manifest {path!r} declares {manifest.shard_count} shards "
+                f"but lists {len(manifest.shards)}"
+            )
+        return manifest
+
+    # ------------------------------------------------------------------
+    def resolve(self, manifest_path: str, relative: str) -> str:
+        """Resolve a shard-relative path against the manifest's directory."""
+        return os.path.join(os.path.dirname(os.path.abspath(manifest_path)), relative)
+
+
+def is_manifest(path: str) -> bool:
+    """``True`` when *path* names an existing sharded-index manifest.
+
+    Sniffs rather than trusting the filename, so a manifest renamed to
+    ``corpus.si`` still dispatches correctly, and a B+Tree file named
+    ``x.manifest.json`` does not.
+    """
+    if not os.path.isfile(path):
+        return False
+    try:
+        with open(path, "rb") as handle:
+            head = handle.read(512)
+    except OSError:
+        return False
+    return MANIFEST_FORMAT.encode("ascii") in head
+
+
+def shard_file_paths(manifest_path: str, shard_id: int) -> tuple:
+    """The conventional (index, data) filenames of one shard.
+
+    ``corpus.si.manifest.json`` -> ``corpus.si.shard00`` / ``.shard00.data``;
+    both are relative to the manifest's directory.
+    """
+    base = os.path.basename(manifest_path)
+    if base.endswith(MANIFEST_SUFFIX):
+        base = base[: -len(MANIFEST_SUFFIX)]
+    index_name = f"{base}.shard{shard_id:02d}"
+    return index_name, index_name + ".data"

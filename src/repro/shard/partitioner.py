@@ -1,0 +1,99 @@
+"""Corpus partitioners: which shard owns which tree.
+
+Tree ids are the posting granularity of every coding scheme, so partitioning
+by tid splits both the index build and the posting space cleanly: a shard's
+index is a complete subtree index over its own trees, and a query's global
+answer is the tid-ordered merge of the per-shard answers.  Two policies are
+provided:
+
+``round-robin``
+    trees are dealt to shards in arrival order (``0, 1, .., N-1, 0, ..``).
+    Gives perfectly balanced shard sizes for any tid distribution, but the
+    tid -> shard mapping is positional, so :meth:`Partitioner.locate` cannot
+    answer for it.
+
+``hash``
+    ``crc32`` of the tree id selects the shard.  Stable across processes and
+    Python versions (unlike the builtin ``hash``), and invertible at query
+    time: :meth:`Partitioner.locate` can route a single-tree fetch to the
+    one shard that owns it.
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+from typing import Dict, Optional, Type
+
+
+class Partitioner:
+    """Assigns tree ids to one of ``shard_count`` shards."""
+
+    #: Registry name; subclasses must override.
+    name = ""
+
+    def __init__(self, shard_count: int):
+        if shard_count < 1:
+            raise ValueError(f"shard count must be at least 1, got {shard_count}")
+        self.shard_count = shard_count
+
+    def assign(self, tid: int) -> int:
+        """The shard that should receive *tid* during a build (stateful for
+        round-robin, pure for hash)."""
+        raise NotImplementedError
+
+    def locate(self, tid: int) -> Optional[int]:
+        """The shard that holds *tid*, or ``None`` when the policy cannot
+        derive it from the tid alone."""
+        return None
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(shard_count={self.shard_count})"
+
+
+class RoundRobinPartitioner(Partitioner):
+    """Deal trees to shards in arrival order, independent of tid values."""
+
+    name = "round-robin"
+
+    def __init__(self, shard_count: int):
+        super().__init__(shard_count)
+        self._next = 0
+
+    def assign(self, tid: int) -> int:
+        shard = self._next
+        self._next = (self._next + 1) % self.shard_count
+        return shard
+
+
+class HashPartitioner(Partitioner):
+    """Route each tid by a stable crc32 hash of its 8-byte encoding."""
+
+    name = "hash"
+
+    def assign(self, tid: int) -> int:
+        return self.locate(tid)
+
+    def locate(self, tid: int) -> Optional[int]:
+        return zlib.crc32(struct.pack("<q", tid)) % self.shard_count
+
+
+_PARTITIONERS: Dict[str, Type[Partitioner]] = {
+    RoundRobinPartitioner.name: RoundRobinPartitioner,
+    HashPartitioner.name: HashPartitioner,
+}
+
+
+def partitioner_names() -> list:
+    """Registered partitioner policy names (CLI choices)."""
+    return sorted(_PARTITIONERS)
+
+
+def get_partitioner(name: str, shard_count: int) -> Partitioner:
+    """Instantiate the partitioner policy *name* for *shard_count* shards."""
+    try:
+        cls = _PARTITIONERS[name]
+    except KeyError:
+        known = ", ".join(partitioner_names())
+        raise ValueError(f"unknown partitioner {name!r} (known: {known})") from None
+    return cls(shard_count)

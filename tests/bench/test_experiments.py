@@ -21,6 +21,7 @@ from repro.bench.experiments import (
     figure11_runtime_by_matches,
     figure12_runtime_by_query_size,
     figure13_scalability,
+    shard_scalability,
     table1_size_ratio,
     table2_system_comparison,
     table3_join_counts,
@@ -118,6 +119,27 @@ class TestQueryExperiments:
         result = table2_system_comparison(context, sentence_count=40, cutoffs=(0.01,))
         systems = {row[1] for row in result.rows}
         assert "RS" in systems and "ATG" in systems and "FB(0.01)" in systems
+
+    def test_shard_scalability(self, context: ExperimentContext) -> None:
+        result = shard_scalability(
+            context, sentence_count=40, shard_counts=(1, 2), warm_passes=1
+        )
+        rows = result.as_dicts()
+        assert [row["shards"] for row in rows] == [1, 2]
+        # Merged results are identical regardless of partitioning.
+        assert len({row["total_matches"] for row in rows}) == 1
+        for row in rows:
+            assert row["build_seconds"] > 0
+            assert row["build_speedup"] > 0
+
+    def test_shard_scalability_baseline_without_one_shard_row(
+        self, context: ExperimentContext
+    ) -> None:
+        result = shard_scalability(
+            context, sentence_count=40, shard_counts=(2,), warm_passes=1
+        )
+        (row,) = result.as_dicts()
+        assert row["build_speedup"] == 1.0  # the smallest count is its own baseline
 
     def test_table3(self) -> None:
         result = table3_join_counts(mss_values=(2, 5))

@@ -92,3 +92,48 @@ class TestTreeStore:
             store.append(ParseTree(parse_penn("(NP (NN a))"), tid=0))
         # Closed cleanly; reopening still works.
         assert len(TreeStore(tmp_path / "data.bin")) == 1
+
+
+class TestTreeStoreIteration:
+    def test_iter_streams_in_file_order(self, tmp_path) -> None:
+        corpus = generate_corpus(12, seed=6)
+        store = TreeStore.build(tmp_path / "data.bin", corpus)
+        streamed = list(store)
+        assert [tree.tid for tree in streamed] == store.tids()
+        for streamed_tree, original in zip(streamed, corpus):
+            assert streamed_tree.root.structurally_equal(original.root)
+
+    def test_iter_matches_get_many(self, tmp_path) -> None:
+        corpus = generate_corpus(8, seed=7)
+        store = TreeStore.build(tmp_path / "data.bin", corpus)
+        via_get_many = store.get_many(store.tids())
+        via_iter = list(store)
+        assert [t.tid for t in via_iter] == [t.tid for t in via_get_many]
+
+    def test_iter_empty_store(self, tmp_path) -> None:
+        assert list(TreeStore(tmp_path / "data.bin")) == []
+
+    def test_iter_does_not_disturb_random_access(self, tmp_path) -> None:
+        corpus = generate_corpus(6, seed=8)
+        store = TreeStore.build(tmp_path / "data.bin", corpus)
+        iterator = iter(store)
+        next(iterator)
+        assert store.get(4).tid == 4  # get() between next() calls is fine
+        assert next(iterator).tid == store.tids()[1]
+
+    def test_iter_respects_arbitrary_tids(self, tmp_path) -> None:
+        store = TreeStore(tmp_path / "data.bin")
+        for tid in (42, 7, 1000):
+            store.append(ParseTree(parse_penn("(NP (NN a))"), tid=tid))
+        assert [tree.tid for tree in store] == [42, 7, 1000]
+
+    def test_iter_agrees_with_get_after_reappend(self, tmp_path) -> None:
+        store = TreeStore(tmp_path / "data.bin")
+        store.append(ParseTree(parse_penn("(NP (NN old))"), tid=5))
+        store.append(ParseTree(parse_penn("(NP (NN other))"), tid=6))
+        store.append(ParseTree(parse_penn("(VP (VB new))"), tid=5))  # supersedes
+        streamed = list(store)
+        assert [tree.tid for tree in streamed] == store.tids()
+        by_iter = {tree.tid: tree for tree in streamed}
+        assert by_iter[5].root.structurally_equal(store.get(5).root)
+        assert by_iter[5].root.label == "VP"

@@ -1,0 +1,104 @@
+"""Unit tests for the sharded-index manifest format and sniffing."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.shard.manifest import (
+    MANIFEST_SUFFIX,
+    ShardEntry,
+    ShardError,
+    ShardManifest,
+    is_manifest,
+    shard_file_paths,
+)
+
+
+def sample_manifest() -> ShardManifest:
+    return ShardManifest(
+        mss=3,
+        coding="root-split",
+        partitioner="hash",
+        shard_count=2,
+        tree_count=10,
+        build_wall_seconds=0.5,
+        shards=[
+            ShardEntry(0, "c.si.shard00", "c.si.shard00.data", 6, 100, 500, 0.2),
+            ShardEntry(1, "c.si.shard01", "c.si.shard01.data", 4, 80, 400, 0.3),
+        ],
+    )
+
+
+class TestRoundTrip:
+    def test_save_and_load(self, tmp_path) -> None:
+        path = str(tmp_path / ("c.si" + MANIFEST_SUFFIX))
+        sample_manifest().save(path)
+        loaded = ShardManifest.load(path)
+        assert loaded == sample_manifest()
+
+    def test_paths_resolve_against_manifest_directory(self, tmp_path) -> None:
+        nested = tmp_path / "deep" / "dir"
+        nested.mkdir(parents=True)
+        path = str(nested / "c.si.manifest.json")
+        manifest = sample_manifest()
+        manifest.save(path)
+        resolved = manifest.resolve(path, manifest.shards[0].index_path)
+        assert resolved == str(nested / "c.si.shard00")
+
+
+class TestValidation:
+    def test_load_missing_file(self, tmp_path) -> None:
+        with pytest.raises(ShardError, match="cannot read"):
+            ShardManifest.load(str(tmp_path / "nope.manifest.json"))
+
+    def test_load_non_manifest_json(self, tmp_path) -> None:
+        path = tmp_path / "other.json"
+        path.write_text(json.dumps({"format": "something-else"}))
+        with pytest.raises(ShardError, match="not a sharded-index manifest"):
+            ShardManifest.load(str(path))
+
+    def test_load_wrong_version(self, tmp_path) -> None:
+        path = tmp_path / "c.manifest.json"
+        payload = json.loads(sample_manifest().to_json())
+        payload["version"] = 99
+        path.write_text(json.dumps(payload))
+        with pytest.raises(ShardError, match="version"):
+            ShardManifest.load(str(path))
+
+    def test_load_shard_count_mismatch(self, tmp_path) -> None:
+        path = tmp_path / "c.manifest.json"
+        payload = json.loads(sample_manifest().to_json())
+        payload["shards"] = payload["shards"][:1]
+        path.write_text(json.dumps(payload))
+        with pytest.raises(ShardError, match="declares 2 shards"):
+            ShardManifest.load(str(path))
+
+
+class TestSniffing:
+    def test_detects_by_content_not_name(self, tmp_path) -> None:
+        oddly_named = str(tmp_path / "corpus.si")
+        sample_manifest().save(oddly_named)
+        assert is_manifest(oddly_named)
+
+    def test_rejects_other_files(self, tmp_path) -> None:
+        impostor = tmp_path / "x.manifest.json"
+        impostor.write_text(json.dumps({"format": "not-an-index"}))
+        assert not is_manifest(str(impostor))
+        binary = tmp_path / "tree.bpt"
+        binary.write_bytes(b"\x00" * 64)
+        assert not is_manifest(str(binary))
+        assert not is_manifest(str(tmp_path / "missing"))
+        assert not is_manifest(str(tmp_path))  # a directory
+
+
+class TestNaming:
+    def test_shard_file_paths(self) -> None:
+        index_name, data_name = shard_file_paths("/some/dir/c.si.manifest.json", 3)
+        assert index_name == "c.si.shard03"
+        assert data_name == "c.si.shard03.data"
+
+    def test_shard_file_paths_without_suffix(self) -> None:
+        index_name, _ = shard_file_paths("c.si", 0)
+        assert index_name == "c.si.shard00"

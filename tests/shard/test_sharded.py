@@ -1,0 +1,356 @@
+"""Integration tests for the sharded index, fan-out execution and service.
+
+The heart of this module is the merge-correctness property: for every
+workload query (the full WH set plus a generated FB set) and every coding
+scheme, a 4-shard index must return *byte-identical, tid-ordered* results
+to a single monolithic index over the same corpus -- through the fan-out
+executor, the merged-lookup compatibility path, and the sharded service.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.core.index import SubtreeIndex
+from repro.corpus.generator import CorpusGenerator
+from repro.corpus.store import TreeStore, data_file_path
+from repro.exec.executor import QueryExecutor, QueryResult
+from repro.exec.fanout import FanoutExecutor, merge_shard_results
+from repro.query.parser import parse_query
+from repro.service.cache import LRUCache
+from repro.service.service import QueryService
+from repro.service.sharded import ShardedQueryService
+from repro.shard import ShardedIndex, ShardError
+from repro.workloads.fb import generate_fb_queries
+from repro.workloads.wh import generate_wh_queries
+
+CODINGS = ("filter", "root-split", "subtree-interval")
+MSS = 3
+SHARDS = 4
+
+
+# ----------------------------------------------------------------------
+# Shared fixtures: one single + one sharded index per coding
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def workdir(tmp_path_factory):
+    return tmp_path_factory.mktemp("sharded")
+
+
+@pytest.fixture(scope="module")
+def indexes(workdir, small_corpus):
+    """``coding -> (single index, single store, sharded index)`` triples."""
+    built = {}
+    for coding in CODINGS:
+        single_path = str(workdir / f"single-{coding}.si")
+        single = SubtreeIndex.build(small_corpus, mss=MSS, coding=coding, path=single_path)
+        store = TreeStore.build(data_file_path(single_path), small_corpus)
+        sharded = ShardedIndex.build(
+            small_corpus,
+            mss=MSS,
+            coding=coding,
+            path=str(workdir / f"sharded-{coding}.si"),
+            shards=SHARDS,
+            workers=1,
+        )
+        built[coding] = (single, store, sharded)
+    yield built
+    for single, store, sharded in built.values():
+        single.close()
+        store.close()
+        sharded.close()
+
+
+@pytest.fixture(scope="module")
+def workload(small_corpus):
+    """Every workload query: the 48 WH queries plus a generated FB set."""
+    queries = [item.query for item in generate_wh_queries()]
+    held_out = CorpusGenerator(seed=101).generate_list(30)
+    fb = generate_fb_queries(
+        indexed_trees=list(small_corpus),
+        held_out_trees=held_out,
+        max_size=6,
+        seed=7,
+    )
+    queries.extend(item.query for item in fb)
+    assert len(queries) > 60
+    return queries
+
+
+def assert_identical_and_tid_ordered(sharded_result, single_result) -> None:
+    """Byte-identical matches, with the sharded dict in ascending tid order."""
+    assert json.dumps(sharded_result.matches_per_tree, sort_keys=True) == json.dumps(
+        single_result.matches_per_tree, sort_keys=True
+    )
+    tids = list(sharded_result.matches_per_tree)
+    assert tids == sorted(tids)
+    assert sharded_result.matched_tids == single_result.matched_tids
+
+
+# ----------------------------------------------------------------------
+# Building
+# ----------------------------------------------------------------------
+class TestBuild:
+    def test_manifest_and_shard_files_exist(self, indexes, workdir) -> None:
+        sharded = indexes["root-split"][2]
+        assert os.path.isfile(sharded.manifest_path)
+        for shard in sharded.shards:
+            assert os.path.isfile(os.path.join(str(workdir), shard.entry.index_path))
+            assert shard.store is not None
+
+    def test_every_tree_lands_in_exactly_one_shard(self, indexes, small_corpus) -> None:
+        sharded = indexes["root-split"][2]
+        per_shard = [set(shard.store.tids()) for shard in sharded.shards]
+        union = set().union(*per_shard)
+        assert union == set(small_corpus.tids())
+        assert sum(len(tids) for tids in per_shard) == len(small_corpus)
+
+    def test_counters_sum_over_shards(self, indexes) -> None:
+        sharded = indexes["root-split"][2]
+        manifest = sharded.manifest
+        assert manifest.tree_count == sum(e.tree_count for e in manifest.shards)
+        assert sharded.posting_count == sum(e.posting_count for e in manifest.shards)
+        assert sharded.mss == MSS
+
+    def test_round_robin_partitioner(self, tmp_path, tiny_corpus) -> None:
+        sharded = ShardedIndex.build(
+            tiny_corpus,
+            mss=2,
+            coding="root-split",
+            path=str(tmp_path / "rr.si"),
+            shards=3,
+            workers=1,
+            partitioner="round-robin",
+        )
+        sizes = [len(shard.store) for shard in sharded.shards]
+        assert max(sizes) - min(sizes) <= 1  # perfectly balanced
+        assert sharded.locate(0) is None  # positional policy: not derivable
+        assert 0 in sharded.store  # membership probing still routes
+        sharded.close()
+
+    def test_process_pool_build_matches_inline(self, tmp_path, tiny_corpus) -> None:
+        inline = ShardedIndex.build(
+            tiny_corpus, mss=2, coding="root-split",
+            path=str(tmp_path / "inline.si"), shards=2, workers=1,
+        )
+        pooled = ShardedIndex.build(
+            tiny_corpus, mss=2, coding="root-split",
+            path=str(tmp_path / "pooled.si"), shards=2, workers=2,
+        )
+        for one, two in zip(inline.manifest.shards, pooled.manifest.shards):
+            assert (one.tree_count, one.key_count, one.posting_count) == (
+                two.tree_count, two.key_count, two.posting_count
+            )
+        query = parse_query("NP(DT)(NN)")
+        with FanoutExecutor(inline) as a, FanoutExecutor(pooled) as b:
+            assert a.execute(query).matches_per_tree == b.execute(query).matches_per_tree
+        inline.close()
+        pooled.close()
+
+
+# ----------------------------------------------------------------------
+# The merged SubtreeIndex-compatible surface
+# ----------------------------------------------------------------------
+class TestMergedLookup:
+    def test_lookup_equals_single_index(self, indexes) -> None:
+        single, _, sharded = indexes["root-split"]
+        for key, postings in list(single.items())[:50]:
+            merged = sharded.lookup(key)
+            assert [p.tid for p in merged] == [p.tid for p in postings]
+
+    def test_lookup_is_tid_sorted_and_absent_key_is_empty(self, indexes) -> None:
+        _, _, sharded = indexes["root-split"]
+        tids = [p.tid for p in sharded.lookup("NP(DT)")]
+        assert tids == sorted(tids)
+        assert sharded.lookup("ZZZTOP") == []
+        assert not sharded.has_key("ZZZTOP")
+        assert sharded.has_key("NP(DT)")
+
+    def test_items_and_keys_match_single_index(self, indexes) -> None:
+        single, _, sharded = indexes["root-split"]
+        single_items = [(key, [p.tid for p in postings]) for key, postings in single.items()]
+        sharded_items = [(key, [p.tid for p in postings]) for key, postings in sharded.items()]
+        assert sharded_items == single_items
+        assert [k.encode() for k in sharded.keys()] == [key for key, _ in single_items]
+
+    def test_postings_cache_read_through(self, indexes) -> None:
+        _, _, sharded = indexes["subtree-interval"]
+        sharded.reset_probe_stats()
+        cache = LRUCache(16)
+        sharded.attach_postings_cache(cache)
+        try:
+            first = sharded.lookup("NP(DT)")
+            second = sharded.lookup("NP(DT)")
+            assert first is second  # served from the merged-posting cache
+            assert sharded.probe_stats.gets == 2
+            assert sharded.probe_stats.cache_hits == 1
+            assert sharded.probe_stats.tree_descents == 1
+        finally:
+            sharded.attach_postings_cache(None)
+
+    def test_open_dispatches_from_subtree_index(self, indexes) -> None:
+        sharded = indexes["root-split"][2]
+        reopened = SubtreeIndex.open(sharded.manifest_path)
+        try:
+            assert isinstance(reopened, ShardedIndex)
+            assert reopened.shard_count == SHARDS
+        finally:
+            reopened.close()
+
+
+# ----------------------------------------------------------------------
+# Merge correctness over the full workload (the acceptance property)
+# ----------------------------------------------------------------------
+class TestMergeCorrectness:
+    @pytest.mark.parametrize("coding", CODINGS)
+    def test_fanout_matches_single_index_on_every_workload_query(
+        self, indexes, workload, coding
+    ) -> None:
+        single, store, sharded = indexes[coding]
+        reference = QueryExecutor(single, store=store)
+        with FanoutExecutor(sharded) as fanout:
+            for query in workload:
+                assert_identical_and_tid_ordered(
+                    fanout.execute(query), reference.execute(query)
+                )
+
+    @pytest.mark.parametrize("coding", CODINGS)
+    def test_merged_lookup_path_matches_single_index(self, indexes, workload, coding) -> None:
+        single, store, sharded = indexes[coding]
+        reference = QueryExecutor(single, store=store)
+        transparent = QueryExecutor(sharded, store=sharded.store)
+        for query in workload[::5]:  # the cheaper invariant: sample the workload
+            assert_identical_and_tid_ordered(
+                transparent.execute(query), reference.execute(query)
+            )
+
+    def test_merge_shard_results_orders_by_tid(self) -> None:
+        merged = merge_shard_results(
+            [
+                QueryResult(matches_per_tree={7: 1, 19: 2}),
+                QueryResult(matches_per_tree={2: 3}),
+                QueryResult(matches_per_tree={}),
+                QueryResult(matches_per_tree={11: 1}),
+            ]
+        )
+        assert list(merged.matches_per_tree.items()) == [(2, 3), (7, 1), (11, 1), (19, 2)]
+
+
+# ----------------------------------------------------------------------
+# The sharded service
+# ----------------------------------------------------------------------
+class TestShardedService:
+    def test_run_matches_unsharded_service(self, indexes, workload) -> None:
+        single, store, sharded = indexes["root-split"]
+        plain = QueryService(single, store=store)
+        service = ShardedQueryService(sharded)
+        try:
+            for query in workload[:20]:
+                assert_identical_and_tid_ordered(service.run(query), plain.run(query))
+        finally:
+            # Neither service owns its index (constructed, not opened), so
+            # close() only detaches caches and shuts the fan-out pool down.
+            service.close()
+            plain.close()
+
+    def test_result_cache_and_per_shard_probe_counters(self, indexes) -> None:
+        sharded = indexes["root-split"][2]
+        sharded.reset_probe_stats()
+        service = ShardedQueryService(sharded)
+        try:
+            first = service.run("NP(DT)(NN)")
+            again = service.run("NP ( DT ) ( NN )")  # normalises to the same plan
+            assert again is first  # served whole from the result cache
+            stats = service.stats()
+            assert len(stats.per_shard) == SHARDS
+            # One cover key fetched once per shard; the repeat hit the
+            # result cache, so no extra probes anywhere.
+            assert stats.probes.gets == SHARDS
+            assert stats.results.hits == 1
+        finally:
+            service.close()
+
+    def test_run_many_fetches_each_key_once_per_shard(self, indexes) -> None:
+        sharded = indexes["subtree-interval"][2]
+        sharded.reset_probe_stats()
+        service = ShardedQueryService(sharded, result_cache_size=0)
+        try:
+            queries = ["NP(DT)(NN)", "NP(DT)(NN)", "NP(DT)"]
+            results = service.run_many(queries)
+            assert results[0].matches_per_tree == results[1].matches_per_tree
+            distinct_keys = {
+                key
+                for text in queries
+                for key in service.prepare(text).key_bytes
+            }
+            stats = service.stats()
+            assert stats.probes.gets == len(distinct_keys) * SHARDS
+            assert stats.batch_keys_deduped > 0
+        finally:
+            service.close()
+
+    def test_concurrent_filter_coding_run_is_safe(self, indexes, workload) -> None:
+        """Threaded run() with filter coding: the filtering phase hits each
+        shard's on-disk TreeStore from many threads at once, which must not
+        interleave reads on the shared file handle (regression test)."""
+        from concurrent.futures import ThreadPoolExecutor
+
+        single, store, sharded = indexes["filter"]
+        reference = QueryExecutor(single, store=store)
+        queries = workload[:12]
+        expected = [reference.execute(query).matches_per_tree for query in queries]
+        service = ShardedQueryService(sharded, result_cache_size=0)
+        try:
+            with ThreadPoolExecutor(max_workers=8) as pool:
+                for _ in range(3):  # repeat so threads genuinely overlap
+                    observed = list(pool.map(service.run, queries))
+                    assert [r.matches_per_tree for r in observed] == expected
+        finally:
+            service.close()
+
+    def test_query_service_open_dispatches(self, indexes) -> None:
+        manifest_path = indexes["root-split"][2].manifest_path
+        service = QueryService.open(manifest_path)
+        try:
+            assert isinstance(service, ShardedQueryService)
+            result = service.run("NP(DT)(NN)")
+            assert result.total_matches > 0
+        finally:
+            service.close()
+
+
+# ----------------------------------------------------------------------
+# Failure modes: every error names the offending shard
+# ----------------------------------------------------------------------
+class TestShardErrors:
+    @pytest.fixture()
+    def built(self, tmp_path, tiny_corpus):
+        manifest_path = ShardedIndex.build(
+            tiny_corpus, mss=2, coding="root-split",
+            path=str(tmp_path / "err.si"), shards=3, workers=1,
+        ).manifest_path
+        return tmp_path, manifest_path
+
+    def test_missing_shard_file(self, built) -> None:
+        tmp_path, manifest_path = built
+        os.remove(tmp_path / "err.si.shard01")
+        with pytest.raises(ShardError, match=r"shard 1 of 3 is missing"):
+            ShardedIndex.open(manifest_path)
+
+    def test_corrupted_shard_file(self, built) -> None:
+        tmp_path, manifest_path = built
+        (tmp_path / "err.si.shard02").write_bytes(b"this is not a B+Tree")
+        with pytest.raises(ShardError, match=r"shard 2 of 3 is unreadable"):
+            ShardedIndex.open(manifest_path)
+
+    def test_shard_with_mismatched_parameters(self, built, tiny_corpus) -> None:
+        tmp_path, manifest_path = built
+        shard_path = str(tmp_path / "err.si.shard00")
+        os.remove(shard_path)
+        rebuilt = SubtreeIndex.build(tiny_corpus, mss=1, coding="root-split", path=shard_path)
+        rebuilt.close()
+        with pytest.raises(ShardError, match=r"shard 0 .* mss=1"):
+            ShardedIndex.open(manifest_path)

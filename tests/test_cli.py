@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import json
+
 import pytest
 
 from repro.cli import main
@@ -62,6 +64,69 @@ class TestBuildAndStats:
     def test_build_other_codings(self, tmp_path, corpus_file, coding) -> None:
         out = str(tmp_path / f"{coding}.si")
         assert main(["build", corpus_file, "--coding", coding, "--out", out]) == 0
+
+
+class TestBuildValidation:
+    def test_mss_below_one_is_friendly(self, corpus_file, tmp_path, capsys) -> None:
+        out = str(tmp_path / "bad.si")
+        assert main(["build", corpus_file, "--mss", "0", "--out", out]) == 2
+        assert "--mss must be at least 1" in capsys.readouterr().err
+
+    def test_missing_corpus_is_friendly(self, tmp_path, capsys) -> None:
+        out = str(tmp_path / "bad.si")
+        assert main(["build", str(tmp_path / "nope.penn"), "--out", out]) == 2
+        assert "corpus file not found" in capsys.readouterr().err
+
+    def test_bad_shard_and_worker_counts(self, corpus_file, tmp_path, capsys) -> None:
+        out = str(tmp_path / "bad.si")
+        assert main(["build", corpus_file, "--shards", "0", "--out", out]) == 2
+        assert "--shards" in capsys.readouterr().err
+        assert main(["build", corpus_file, "--shards", "2", "--workers", "0", "--out", out]) == 2
+        assert "--workers" in capsys.readouterr().err
+
+
+class TestSharded:
+    @pytest.fixture()
+    def manifest_file(self, tmp_path, corpus_file) -> str:
+        out = str(tmp_path / "sharded.si")
+        assert main(
+            ["build", corpus_file, "--mss", "3", "--shards", "3", "--workers", "1", "--out", out]
+        ) == 0
+        return out + ".manifest.json"
+
+    def test_build_reports_shards(self, tmp_path, corpus_file, capsys) -> None:
+        out = str(tmp_path / "s.si")
+        assert main(["build", corpus_file, "--shards", "2", "--workers", "1", "--out", out]) == 0
+        captured = capsys.readouterr().out
+        assert "2 shards" in captured
+        assert "manifest:" in captured
+
+    def test_query_against_manifest(self, manifest_file, index_file, capsys) -> None:
+        assert main(["query", manifest_file, "NP(DT)(NN)", "--show-tids"]) == 0
+        sharded_out = capsys.readouterr().out
+        assert main(["query", index_file, "NP(DT)(NN)", "--show-tids"]) == 0
+        single_out = capsys.readouterr().out
+        # Identical matches, counts and tid lists through either path.
+        assert sharded_out.splitlines()[0].split("(")[0] == single_out.splitlines()[0].split("(")[0]
+        assert sharded_out.splitlines()[1] == single_out.splitlines()[1]
+
+    def test_stats_shows_per_shard_table(self, manifest_file, capsys) -> None:
+        assert main(["stats", manifest_file]) == 0
+        captured = capsys.readouterr().out
+        assert "shards          : 3 (hash partitioner)" in captured
+
+    def test_stats_json(self, manifest_file, index_file, capsys) -> None:
+        assert main(["stats", manifest_file, "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["sharded"] is True
+        assert payload["shard_count"] == 3
+        assert len(payload["shards"]) == 3
+        assert sum(s["tree_count"] for s in payload["shards"]) == payload["tree_count"]
+        # Plain indexes emit the same shape, minus the shard breakdown.
+        assert main(["stats", index_file, "--json"]) == 0
+        plain = json.loads(capsys.readouterr().out)
+        assert plain["sharded"] is False
+        assert "shards" not in plain
 
 
 class TestQuery:

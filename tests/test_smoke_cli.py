@@ -77,6 +77,25 @@ def test_readme_session(workdir) -> None:
     assert "top 3 keys" in stats.stdout
 
 
+def test_readme_sharded_session(workdir) -> None:
+    """Step 5 of the README quickstart: sharded build, manifest query, JSON stats."""
+    build = run_cli(
+        "build", "corpus.penn", "--shards", "4", "--workers", "1",
+        "--out", "sharded.si", cwd=workdir,
+    )
+    assert build.returncode == 0, build.stderr
+    assert "4 shards" in build.stdout
+    assert "manifest: sharded.si.manifest.json" in build.stdout
+
+    query = run_cli("query", "sharded.si.manifest.json", "NP(DT)(NN)", cwd=workdir)
+    assert query.returncode == 0, query.stderr
+    assert "NP(DT)(NN):" in query.stdout
+
+    stats = run_cli("stats", "sharded.si.manifest.json", "--json", cwd=workdir)
+    assert stats.returncode == 0, stats.stderr
+    assert '"shard_count": 4' in stats.stdout
+
+
 def test_malformed_query_fails_cleanly(workdir) -> None:
     """A malformed query exits non-zero with a message, never a traceback."""
     result = run_cli("query", "corpus.si", "NP(((", cwd=workdir)
