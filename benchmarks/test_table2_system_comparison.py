@@ -2,9 +2,15 @@
 
 from __future__ import annotations
 
+import os
+
 from benchmarks.conftest import BASE_SIZES, save_result, scaled
 from repro.bench.experiments import table2_system_comparison
 from repro.workloads.binning import average
+
+#: Minimum cores for the timing-ratio bars: on a 1-CPU box any concurrent
+#: load (the rest of the suite, the host) lands on the measured core.
+CORES_FOR_BARS = 2
 
 
 def test_table2_system_comparison(benchmark, context, results_dir) -> None:
@@ -21,6 +27,23 @@ def test_table2_system_comparison(benchmark, context, results_dir) -> None:
 
     def avg_for(system: str) -> float:
         return average([row[2] for row in result.rows if row[1] == system])
+
+    # Correctness of the experiment itself is asserted unconditionally:
+    # every system must have been measured on every frequency class.
+    classes = {row[0] for row in result.rows}
+    systems = {row[1] for row in result.rows}
+    assert {"RS", "ATG", "FB(0.001)", "FB(0.01)", "FB(0.1)"} <= systems
+    for system in systems:
+        measured = {row[0] for row in result.rows if row[1] == system}
+        assert measured == classes, f"{system} missing classes {classes - measured}"
+    assert all(row[2] >= 0 for row in result.rows)
+
+    # The timing-ratio bars are hardware-sensitive: shared CI runners
+    # (GitHub sets CI=true) and 1-CPU boxes are too noisy/throttled to gate
+    # a wall-clock ordering on (mirrors the shard_scalability guard).  The
+    # measured factors are still recorded in benchmarks/results/.
+    if os.environ.get("CI") or (os.cpu_count() or 1) < CORES_FOR_BARS:
+        return
 
     rs = avg_for("RS")
     atreegrep = avg_for("ATG")

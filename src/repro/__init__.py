@@ -19,6 +19,9 @@ Syntactically Annotated Trees"*, VLDB 2012.  The package provides:
 * horizontal partitioning by tree id: parallel multiprocess shard builds,
   a self-describing manifest, and fan-out query execution
   (:mod:`repro.shard`, :mod:`repro.exec.fanout`);
+* a mutable "live" index for a growing corpus: write-ahead log, in-memory
+  delta segment, tombstone deletes and explicit compaction behind the same
+  read API (:mod:`repro.live`, :mod:`repro.service.live`);
 * the baselines the paper compares against (:mod:`repro.baselines`);
 * the evaluation workloads and the experiment harness regenerating every
   table and figure of the paper (:mod:`repro.workloads`, :mod:`repro.bench`).
@@ -38,8 +41,9 @@ from repro.coding import FilterBasedCoding, RootSplitCoding, SubtreeIntervalCodi
 from repro.core import SubtreeIndex
 from repro.corpus import Corpus, CorpusGenerator, TreeStore, generate_corpus
 from repro.exec import FanoutExecutor, QueryExecutor, QueryResult
+from repro.live import LiveIndex
 from repro.query import QueryTree, min_rc, optimal_cover, parse_query
-from repro.service import QueryService, ShardedQueryService
+from repro.service import LiveQueryService, QueryService, ShardedQueryService
 from repro.shard import ShardedIndex
 from repro.trees import Node, ParseTree, parse_penn, to_penn
 
@@ -74,4 +78,7 @@ __all__ = [
     "ShardedIndex",
     "ShardedQueryService",
     "FanoutExecutor",
+    # Live (mutable) indexing
+    "LiveIndex",
+    "LiveQueryService",
 ]

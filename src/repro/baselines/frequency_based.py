@@ -21,7 +21,7 @@ from repro.core.enumeration import enumerate_key_occurrences
 from repro.corpus.store import Corpus, TreeStore
 from repro.exec.executor import ExecutionStats, QueryResult
 from repro.exec.joins import intersect_sorted_tid_lists
-from repro.query.covers import Cover, CoverSubtree
+from repro.query.covers import Cover
 from repro.query.decompose import optimal_cover
 from repro.query.model import QueryTree
 from repro.trees.matching import count_matches

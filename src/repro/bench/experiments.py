@@ -10,6 +10,7 @@ numbers and how they compare to the paper's trends.
 
 from __future__ import annotations
 
+import os
 import time
 from typing import Dict, Iterable, List, Sequence, Tuple
 
@@ -17,8 +18,11 @@ from repro.bench.context import ExperimentContext
 from repro.bench.results import ExperimentResult
 from repro.core.enumeration import subtree_count_by_root_branching
 from repro.core.stats import count_postings, count_unique_keys
+from repro.corpus.generator import CorpusGenerator
+from repro.live import LiveIndex
 from repro.query.decompose import min_rc, optimal_cover
 from repro.query.model import QueryTree
+from repro.service.live import LiveQueryService
 from repro.service.service import QueryService
 from repro.service.sharded import ShardedQueryService
 from repro.workloads.binning import MATCH_BINS, average, bin_for_match_count, group_by_query_size
@@ -442,6 +446,102 @@ def shard_scalability(
         "warm passes repeat the workload through the populated service caches "
         "(plans, per-shard postings and results)"
     )
+    return result
+
+
+# ----------------------------------------------------------------------
+# Live-index experiment: update throughput, delta-fraction latency, compaction
+# ----------------------------------------------------------------------
+def update_throughput(
+    context: ExperimentContext,
+    sentence_count: int = 600,
+    delta_fractions: Sequence[float] = (0.0, 0.10, 0.50),
+    mss: int = 3,
+    coding: str = "root-split",
+) -> ExperimentResult:
+    """Mutation cost of the live index at growing delta fractions.
+
+    For every fraction *f* a live index is created over the base corpus and
+    ``f * sentence_count`` extra trees are appended through the WAL'd
+    ``add_tree`` path.  The row records:
+
+    * **adds_per_sec** -- acknowledged (fsynced) adds per second;
+    * **query_ms_delta** -- WH-workload latency served *with* the delta in
+      place (base segment merged with the memtable at query time);
+    * **compact_seconds** -- cost of folding the delta into an immutable
+      segment (build + atomic manifest swap + WAL truncation);
+    * **query_ms_compacted** -- the same workload once fully on-disk;
+    * **total_matches / total_matches_compacted** -- summed over the
+      workload before and after compaction; identical by the equivalence
+      invariant, which ``benchmarks/test_update_throughput.py`` asserts.
+    """
+    result = ExperimentResult(
+        name="Update throughput",
+        description=(
+            "Live-index mutation cost: fsynced adds/sec, WH query latency at "
+            f"0/10/50% delta fraction, and compaction time ({coding}, mss={mss}, "
+            f"{sentence_count}-sentence base corpus)"
+        ),
+        columns=[
+            "delta_fraction",
+            "base_trees",
+            "delta_trees",
+            "adds_per_sec",
+            "query_ms_delta",
+            "compact_seconds",
+            "query_ms_compacted",
+            "total_matches",
+            "total_matches_compacted",
+        ],
+    )
+    queries = [item.query for item in context.wh_queries()]
+    base = list(context.corpus(sentence_count))
+
+    def run_workload(live: LiveIndex) -> Tuple[float, int]:
+        """Cold ms/query and summed matches through a fresh LiveQueryService."""
+        service = LiveQueryService(live)
+        try:
+            total = 0
+            started = time.perf_counter()
+            for query in queries:
+                total += service.run(query).total_matches
+            return (time.perf_counter() - started) * 1000 / len(queries), total
+        finally:
+            service.close()
+
+    for fraction in delta_fractions:
+        delta_count = int(round(sentence_count * fraction))
+        extra = CorpusGenerator(seed=context.seed + 104729).generate_list(delta_count)
+        path = os.path.join(
+            context.workdir, f"live-{sentence_count}-{coding}-{mss}-f{int(fraction * 100)}"
+        )
+        live = LiveIndex.create(path, mss=mss, coding=coding, trees=base)
+        try:
+            add_started = time.perf_counter()
+            for tree in extra:
+                live.add_tree(tree.root)
+            add_seconds = time.perf_counter() - add_started
+            delta_ms, total = run_workload(live)
+            compact_seconds = live.compact().seconds if delta_count else 0.0
+            compacted_ms, total_compacted = run_workload(live)
+        finally:
+            live.close()
+        result.add_row(
+            fraction,
+            len(base),
+            delta_count,
+            delta_count / add_seconds if add_seconds and delta_count else 0.0,
+            delta_ms,
+            compact_seconds,
+            compacted_ms,
+            total,
+            total_compacted,
+        )
+    result.add_note(
+        "adds are acknowledged only after an fsynced WAL append; delta queries "
+        "merge the in-memory memtable with the base segment at lookup time"
+    )
+    result.add_note("total_matches == total_matches_compacted is the equivalence invariant")
     return result
 
 

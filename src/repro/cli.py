@@ -1,27 +1,39 @@
 """Command-line interface for the subtree index.
 
-Four subcommands cover the everyday workflow:
+Seven subcommands cover the everyday workflow:
 
 ``generate``
     sample a synthetic treebank and write it as bracketed Penn lines;
 ``build``
     build a subtree index (and the data file) over a Penn corpus file --
-    optionally sharded (``--shards N``) with parallel worker processes;
+    optionally sharded (``--shards N``) with parallel worker processes, or
+    mutable (``--live``: base segment + write-ahead log);
 ``query``
-    evaluate one or more queries against a built index (plain or sharded);
+    evaluate one or more queries against a built index (plain, sharded or
+    live); ``--explain`` prints the cover plan and per-stage posting counts
+    without running the join;
+``add`` / ``delete`` / ``compact``
+    mutate a live index: append trees from a Penn file, tombstone trees by
+    tid, and fold the delta + tombstones into immutable segments;
 ``stats``
     print metadata and key statistics of a built index (``--json`` for a
-    machine-readable dump, including the per-shard breakdown).
+    machine-readable dump, including per-shard / per-segment breakdowns and
+    the live index's delta/WAL sizes).
 
 Example session::
 
     python -m repro.cli generate --sentences 1000 --out corpus.penn
     python -m repro.cli build corpus.penn --mss 3 --coding root-split --out corpus.si
     python -m repro.cli build corpus.penn --shards 4 --workers 4 --out big.si
+    python -m repro.cli build corpus.penn --live --out corpus.si
     python -m repro.cli query corpus.si "NP(DT)(NN)" "S(NP)(VP(VBZ))"
     python -m repro.cli query big.si.manifest.json "NP(DT)(NN)"
     python -m repro.cli query corpus.si "NP(DT)(NN)" --repeat 50 --cache-stats
     python -m repro.cli query corpus.si "NP(DT)" "NP(DT)(NN)" --batch
+    python -m repro.cli query corpus.si "S(NP)(VP)" --explain
+    python -m repro.cli add corpus.si.live.json more.penn
+    python -m repro.cli delete corpus.si.live.json 17 42
+    python -m repro.cli compact corpus.si.live.json
     python -m repro.cli stats corpus.si --json
 """
 
@@ -38,10 +50,14 @@ from repro.coding.base import coding_names
 from repro.core.index import SubtreeIndex
 from repro.corpus.generator import CorpusGenerator
 from repro.corpus.store import Corpus, TreeStore, data_file_path
+from repro.live import LiveIndex, LiveIndexError, WalError, is_live_manifest
 from repro.service.service import QueryService
 from repro.shard import ShardedIndex, ShardError, partitioner_names
 from repro.storage.bptree import BPlusTreeError
 from repro.storage.pager import PageError
+
+#: Exceptions any "open an index/service" step may raise, mapped to exit 2.
+_OPEN_ERRORS = (OSError, ValueError, ShardError, LiveIndexError, WalError, BPlusTreeError, PageError)
 
 
 # ----------------------------------------------------------------------
@@ -70,13 +86,29 @@ def cmd_build(args: argparse.Namespace) -> int:
     if not os.path.isfile(args.corpus):
         print(f"error: corpus file not found: {args.corpus!r}", file=sys.stderr)
         return 2
-    if args.shards == 1 and (args.workers is not None or args.partitioner is not None):
+    if args.live and args.shards > 1:
+        print("error: --live and --shards cannot be combined", file=sys.stderr)
+        return 2
+    if args.shards == 1 and not args.live and (
+        args.workers is not None or args.partitioner is not None
+    ):
         print(
             "warning: --workers/--partitioner only apply to sharded builds; "
             "pass --shards N (> 1) for a parallel build",
             file=sys.stderr,
         )
     corpus = Corpus.load(args.corpus)
+
+    if args.live:
+        index = LiveIndex.create(args.out, mss=args.mss, coding=args.coding, trees=list(corpus))
+        print(
+            f"built live {args.coding} index over {len(corpus)} trees: "
+            f"{index.key_count:,} keys, {index.posting_count:,} postings, "
+            f"{index.size_bytes():,} bytes, epoch {index.epoch}"
+        )
+        print(f"manifest: {index.manifest_path}")
+        index.close()
+        return 0
 
     if args.shards > 1:
         index = ShardedIndex.build(
@@ -120,10 +152,36 @@ def _print_result(args: argparse.Namespace, text: str, result, extra: str = "") 
         print("  tids:", ", ".join(str(tid) for tid in result.matched_tids[: args.limit]))
 
 
+def _explain_query(service: QueryService, text: str) -> None:
+    """Print the cover plan and per-stage posting counts of one query.
+
+    Runs stages 1 (decomposition) and 2 (posting fetch, for the counts) but
+    never stage 3 -- no joins, no filtering phase.
+    """
+    prepared = service.prepare(text)
+    cover = prepared.cover
+    index = service.index
+    print(f"{text}:")
+    print(
+        f"  plan: strategy={service.strategy}, mss={index.mss}, "
+        f"coding={index.coding.name}"
+    )
+    print(f"  cover: {len(cover)} subtree(s), {cover.join_count} join(s)")
+    total = 0
+    for key in prepared.key_bytes:
+        count = index.posting_list_length(key)
+        total += count
+        print(f"    {key.decode('utf-8'):<40s} {count:,} postings")
+    print(f"  fetch total: {total:,} postings (join phase not executed)")
+
+
 def cmd_query(args: argparse.Namespace) -> int:
     """Run queries against a built index through the query service."""
     if args.batch and args.repeat > 1:
         print("error: --batch and --repeat cannot be combined", file=sys.stderr)
+        return 2
+    if args.explain and (args.batch or args.repeat > 1):
+        print("error: --explain cannot be combined with --batch/--repeat", file=sys.stderr)
         return 2
     try:
         # With --repeat the point is to measure the plan+posting caches, so
@@ -132,7 +190,7 @@ def cmd_query(args: argparse.Namespace) -> int:
         service = QueryService.open(
             args.index, result_cache_size=0 if args.repeat > 1 else 1024
         )
-    except (OSError, ValueError, ShardError, BPlusTreeError, PageError) as error:
+    except _OPEN_ERRORS as error:
         print(f"error: cannot open index {args.index!r}: {error}", file=sys.stderr)
         return 2
 
@@ -148,7 +206,10 @@ def cmd_query(args: argparse.Namespace) -> int:
             valid.append(text)
 
     try:
-        if args.batch:
+        if args.explain:
+            for text in valid:
+                _explain_query(service, text)
+        elif args.batch:
             # One batch: distinct cover keys are fetched from the index once.
             # Per-query ms covers each join only; the shared prepare+fetch
             # work is reported in the batch total line below.
@@ -188,6 +249,101 @@ def cmd_query(args: argparse.Namespace) -> int:
     return status
 
 
+# ----------------------------------------------------------------------
+# Live-index mutation commands
+# ----------------------------------------------------------------------
+def _open_live(path: str) -> Optional[LiveIndex]:
+    """Open *path* as a live index; prints a friendly error and returns None."""
+    try:
+        if not is_live_manifest(path):
+            raise LiveIndexError(
+                f"{path!r} is not a live index (build one with 'build --live')"
+            )
+        return LiveIndex.open(path)
+    except _OPEN_ERRORS as error:
+        print(f"error: cannot open live index {path!r}: {error}", file=sys.stderr)
+        return None
+
+
+def cmd_add(args: argparse.Namespace) -> int:
+    """Append trees from a Penn-bracket file to a live index."""
+    if not os.path.isfile(args.corpus):
+        print(f"error: corpus file not found: {args.corpus!r}", file=sys.stderr)
+        return 2
+    live = _open_live(args.index)
+    if live is None:
+        return 2
+    try:
+        try:
+            corpus = Corpus.load(args.corpus)
+        except (OSError, ValueError) as error:  # e.g. a malformed Penn line
+            print(f"error: cannot read corpus {args.corpus!r}: {error}", file=sys.stderr)
+            return 2
+        tids = [live.add_tree(tree.root) for tree in corpus]
+        if tids:
+            print(
+                f"added {len(tids)} trees (tids {tids[0]}..{tids[-1]}): "
+                f"delta {live.delta.tree_count} trees / "
+                f"{live.delta.posting_count:,} postings, "
+                f"wal {live.wal.op_count} ops / {live.wal.size_bytes():,} bytes"
+            )
+        else:
+            print(f"no trees in {args.corpus!r}; nothing added")
+    finally:
+        live.close()
+    return 0
+
+
+def cmd_delete(args: argparse.Namespace) -> int:
+    """Tombstone trees of a live index by tid."""
+    live = _open_live(args.index)
+    if live is None:
+        return 2
+    status = 0
+    deleted = 0
+    try:
+        for tid in args.tids:
+            try:
+                live.delete_tree(tid)
+            except KeyError:
+                print(f"error: no tree with tid {tid}", file=sys.stderr)
+                status = 2
+            else:
+                deleted += 1
+        print(
+            f"deleted {deleted} of {len(args.tids)} trees: "
+            f"{len(live.tombstones)} tombstones pending compaction, "
+            f"{live.tree_count:,} trees live"
+        )
+    finally:
+        live.close()
+    return status
+
+
+def cmd_compact(args: argparse.Namespace) -> int:
+    """Fold a live index's delta and tombstones into immutable segments."""
+    live = _open_live(args.index)
+    if live is None:
+        return 2
+    try:
+        stats = live.compact()
+        if stats.noop:
+            print(f"nothing to compact (epoch stays {stats.epoch})")
+        else:
+            print(
+                f"compacted to epoch {stats.epoch} in {stats.seconds:.2f}s: "
+                f"flushed {stats.flushed_trees} delta trees, "
+                f"purged {stats.purged_tombstones} tombstones, "
+                f"rewrote {stats.segments_rewritten} and dropped "
+                f"{stats.segments_dropped} segment(s), "
+                f"truncated {stats.wal_bytes_truncated:,} WAL bytes"
+            )
+            print(f"segments now: {live.segment_count}, trees: {live.tree_count:,}")
+    finally:
+        live.close()
+    return 0
+
+
 def _stats_payload(path: str, index) -> dict:
     """The machine-readable metadata of *index* (plain or sharded)."""
     meta = index.metadata
@@ -201,12 +357,42 @@ def _stats_payload(path: str, index) -> dict:
         "size_bytes": index.size_bytes(),
         "build_seconds": meta.build_seconds,
         "sharded": isinstance(index, ShardedIndex),
-        # A key indexed by k shards counts k times in a sharded index's
+        "live": isinstance(index, LiveIndex),
+        # A key indexed by k shards/segments counts k times in that index's
         # key_count; "distinct" means the global unique-subtree count.
         "key_count_semantics": (
-            "per-shard-sum" if isinstance(index, ShardedIndex) else "distinct"
+            "per-shard-sum"
+            if isinstance(index, ShardedIndex)
+            else "per-source-sum" if isinstance(index, LiveIndex) else "distinct"
         ),
     }
+    if isinstance(index, LiveIndex):
+        payload["epoch"] = index.epoch
+        payload["segment_count"] = index.segment_count
+        payload["segments"] = [
+            {
+                "segment_id": segment.segment_id,
+                "index_path": segment.entry.index_path,
+                "tree_count": segment.entry.tree_count,
+                "key_count": segment.entry.key_count,
+                "posting_count": segment.entry.posting_count,
+                "size_bytes": segment.index.size_bytes(),
+                "min_tid": segment.entry.min_tid,
+                "max_tid": segment.entry.max_tid,
+            }
+            for segment in index.segments
+        ]
+        payload["delta"] = {
+            "tree_count": index.delta.tree_count,
+            "key_count": index.delta.key_count,
+            "posting_count": index.delta.posting_count,
+        }
+        payload["tombstones"] = len(index.tombstones)
+        payload["wal"] = {
+            "ops": index.wal.op_count,
+            "size_bytes": index.wal.size_bytes(),
+            "epoch": index.wal.epoch,
+        }
     if isinstance(index, ShardedIndex):
         manifest = index.manifest
         payload["partitioner"] = manifest.partitioner
@@ -229,8 +415,8 @@ def _stats_payload(path: str, index) -> dict:
 def cmd_stats(args: argparse.Namespace) -> int:
     """Print metadata and the largest posting lists of an index."""
     try:
-        index = SubtreeIndex.open(args.index)  # dispatches to ShardedIndex
-    except (OSError, ValueError, ShardError, BPlusTreeError, PageError) as error:
+        index = SubtreeIndex.open(args.index)  # dispatches to Sharded/LiveIndex
+    except _OPEN_ERRORS as error:
         print(f"error: cannot open index {args.index!r}: {error}", file=sys.stderr)
         return 2
 
@@ -241,18 +427,40 @@ def cmd_stats(args: argparse.Namespace) -> int:
 
     meta = index.metadata
     sharded = isinstance(index, ShardedIndex)
+    live = isinstance(index, LiveIndex)
     print(f"index file      : {args.index}")
+    if live:
+        print(f"kind            : live (epoch {index.epoch})")
     print(f"coding          : {meta.coding}")
     print(f"mss             : {meta.mss}")
     print(f"trees indexed   : {meta.tree_count:,}")
     if sharded:
         # A key indexed by several shards counts once per shard.
         print(f"keys (shard sum): {meta.key_count:,}")
+    elif live:
+        print(f"keys (src sum)  : {meta.key_count:,}")
     else:
         print(f"unique keys     : {meta.key_count:,}")
     print(f"total postings  : {meta.posting_count:,}")
     print(f"size on disk    : {index.size_bytes():,} bytes")
-    print(f"build time      : {meta.build_seconds:.2f} s")
+    if not live:
+        print(f"build time      : {meta.build_seconds:.2f} s")
+    if live:
+        print(f"segments        : {index.segment_count}")
+        print("  id   trees    keys      postings   bytes        tids")
+        for segment in index.segments:
+            entry = segment.entry
+            print(
+                f"  {segment.segment_id:<4d} {entry.tree_count:<8,} {entry.key_count:<9,} "
+                f"{entry.posting_count:<10,} {segment.index.size_bytes():<12,} "
+                f"{entry.min_tid}-{entry.max_tid}"
+            )
+        print(
+            f"delta           : {index.delta.tree_count} trees, "
+            f"{index.delta.key_count:,} keys, {index.delta.posting_count:,} postings"
+        )
+        print(f"tombstones      : {len(index.tombstones)}")
+        print(f"wal             : {index.wal.op_count} ops, {index.wal.size_bytes():,} bytes")
     if sharded:
         manifest = index.manifest
         print(f"shards          : {manifest.shard_count} ({manifest.partitioner} partitioner)")
@@ -309,6 +517,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--partitioner", choices=partitioner_names(), default=None,
         help="tid -> shard policy for --shards > 1 (default: hash)",
     )
+    build.add_argument(
+        "--live", action="store_true",
+        help="build a mutable live index (writes <out>.live.json + segment + WAL files; "
+             "grow it later with 'add'/'delete'/'compact')",
+    )
     build.set_defaults(func=cmd_build)
 
     query = subparsers.add_parser("query", help="evaluate queries against an index")
@@ -328,7 +541,28 @@ def build_parser() -> argparse.ArgumentParser:
         "--cache-stats", action="store_true",
         help="print plan/posting cache hit rates and index probe counters",
     )
+    query.add_argument(
+        "--explain", action="store_true",
+        help="print the decomposition/cover plan and per-stage posting counts "
+             "without executing the join",
+    )
     query.set_defaults(func=cmd_query)
+
+    add = subparsers.add_parser("add", help="append trees to a live index")
+    add.add_argument("index", help="live-index manifest built with 'build --live'")
+    add.add_argument("corpus", help="Penn-bracket file of trees to append (one per line)")
+    add.set_defaults(func=cmd_add)
+
+    delete = subparsers.add_parser("delete", help="delete trees from a live index by tid")
+    delete.add_argument("index", help="live-index manifest built with 'build --live'")
+    delete.add_argument("tids", nargs="+", type=int, help="tree ids to tombstone")
+    delete.set_defaults(func=cmd_delete)
+
+    compact = subparsers.add_parser(
+        "compact", help="fold a live index's delta and tombstones into immutable segments"
+    )
+    compact.add_argument("index", help="live-index manifest built with 'build --live'")
+    compact.set_defaults(func=cmd_compact)
 
     stats = subparsers.add_parser("stats", help="print statistics of a built index")
     stats.add_argument("index", help="index file or sharded-index manifest")

@@ -20,7 +20,7 @@ from typing import Dict, Iterable, Iterator, List, Sequence, Tuple
 from repro.coding.base import Occurrence
 from repro.core.keys import canonical_key
 from repro.trees.node import Node, ParseTree
-from repro.trees.numbering import IntervalCode, number_tree
+from repro.trees.numbering import number_tree
 
 
 class _OccNode:

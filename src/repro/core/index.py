@@ -14,7 +14,7 @@ import json
 import os
 import time
 from dataclasses import asdict, dataclass
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
 
 from repro.coding.base import CodingScheme, get_coding
 from repro.core.enumeration import enumerate_key_occurrences
@@ -120,10 +120,11 @@ class SubtreeIndex:
     def open(cls, path: str) -> "SubtreeIndex":
         """Open an existing index file.
 
-        Pointed at a sharded-index manifest (``*.manifest.json``, sniffed by
-        content rather than filename), this transparently returns a
-        :class:`~repro.shard.sharded.ShardedIndex`, which presents the same
-        read API over all shards.
+        Pointed at a sharded-index manifest (``*.manifest.json``) or a
+        live-index manifest (``*.live.json``) -- both sniffed by content
+        rather than filename -- this transparently returns a
+        :class:`~repro.shard.sharded.ShardedIndex` or a
+        :class:`~repro.live.live.LiveIndex`, which present the same read API.
         """
         if not os.path.exists(path):
             # BPlusTree initialises missing files; opening an index must not.
@@ -134,6 +135,12 @@ class SubtreeIndex:
             from repro.shard.sharded import ShardedIndex
 
             return ShardedIndex.open(path)  # type: ignore[return-value]
+        from repro.live.manifest import is_live_manifest  # local: live builds on core
+
+        if is_live_manifest(path):
+            from repro.live.live import LiveIndex
+
+            return LiveIndex.open(path)  # type: ignore[return-value]
         btree = BPlusTree(path)
         raw = btree.get(_META_KEY)
         if raw is None:

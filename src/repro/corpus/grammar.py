@@ -16,7 +16,7 @@ supplied by the caller, so corpora are reproducible from a seed.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Sequence, Tuple
 
 #: Constituent (phrase-level) tags used by the default grammar.

@@ -21,7 +21,7 @@ from __future__ import annotations
 
 import time
 from concurrent.futures import ThreadPoolExecutor
-from typing import Callable, List, Optional, Sequence, Tuple
+from typing import AbstractSet, Callable, List, Optional, Sequence, Tuple
 
 from repro.coding.base import CodingScheme
 from repro.exec.executor import (
@@ -69,17 +69,27 @@ def finish_stats(
     return stats
 
 
-def merge_shard_results(results: Sequence[QueryResult]) -> QueryResult:
+def merge_shard_results(
+    results: Sequence[QueryResult],
+    exclude_tids: Optional[AbstractSet[int]] = None,
+) -> QueryResult:
     """Merge per-shard results into one, ascending in tree id.
 
     Shards partition the corpus by tid, so the per-shard match dictionaries
     are disjoint; merging is concatenation plus a sort of the (tid, count)
     pairs.  The merged dictionary's insertion order is the global tid order,
     matching what a single-shard execution produces.
+
+    *exclude_tids* drops matches in the named trees -- the live index passes
+    its tombstone set here, since a query match lives entirely inside one
+    tree and deletes are whole-tree, so filtering merged results is exactly
+    equivalent to filtering every posting list up front.
     """
     pairs: List[Tuple[int, int]] = []
     for result in results:
         pairs.extend(result.matches_per_tree.items())
+    if exclude_tids:
+        pairs = [(tid, count) for tid, count in pairs if tid not in exclude_tids]
     pairs.sort()
     return QueryResult(matches_per_tree=dict(pairs))
 
@@ -96,14 +106,16 @@ def execute_on_shards(
     coding: CodingScheme,
     pool: Optional[ThreadPoolExecutor] = None,
     fetch: Optional[ShardFetcher] = None,
+    exclude_tids: Optional[AbstractSet[int]] = None,
 ) -> Tuple[QueryResult, ExecutionStats]:
     """Run stages 2+3 on every shard and merge the results.
 
     *shards* are :class:`~repro.shard.sharded.ShardHandle` objects (anything
-    with ``.index`` and ``.store`` works).  *fetch* defaults to the shard
-    index's own ``lookup``.  Returns the merged result plus an
-    :class:`ExecutionStats` carrying the summed fetch/filter counters; the
-    caller fills in the timing and plan fields.
+    with ``.index`` and ``.store`` works -- live-index segments and the
+    delta included).  *fetch* defaults to the shard index's own ``lookup``.
+    *exclude_tids* filters the merged matches (tombstoned trees).  Returns
+    the merged result plus an :class:`ExecutionStats` carrying the summed
+    fetch/filter counters; the caller fills in the timing and plan fields.
     """
     fetcher = fetch if fetch is not None else _default_fetch
 
@@ -127,7 +139,10 @@ def execute_on_shards(
         postings_fetched=sum(fetched for _, fetched, _ in per_shard),
         candidates_filtered=sum(filtered for _, _, filtered in per_shard),
     )
-    return merge_shard_results([result for result, _, _ in per_shard]), totals
+    merged = merge_shard_results(
+        [result for result, _, _ in per_shard], exclude_tids=exclude_tids
+    )
+    return merged, totals
 
 
 class FanoutExecutor:

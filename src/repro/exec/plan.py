@@ -16,7 +16,7 @@ planner produces a *join plan*:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import Dict, List, Sequence, Set, Tuple
 
 from repro.coding.base import CodingScheme
 from repro.coding.filter_based import FilterPosting
@@ -25,7 +25,7 @@ from repro.coding.subtree_interval import SubtreePosting
 from repro.exec.joins import Binding, BindingRow
 from repro.query.covers import Cover, CoverSubtree
 from repro.query.model import QueryTree
-from repro.trees.matching import AXIS_CHILD, AXIS_DESCENDANT
+from repro.trees.matching import AXIS_CHILD
 from repro.trees.numbering import IntervalCode
 
 

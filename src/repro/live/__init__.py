@@ -1,0 +1,52 @@
+"""A mutable ("live") subtree index over a growing, changing corpus.
+
+The paper's index is immutable: any corpus change meant a full rebuild.
+This package adds the standard LSM-flavoured update path behind the same
+read API (cf. Clarke's *Annotative Indexing*, 2024):
+
+* :mod:`repro.live.wal` -- the checksummed, fsynced write-ahead log every
+  mutation hits before it is applied; replayed on open, truncated (and
+  epoch-bumped) by compaction.
+* :mod:`repro.live.delta` -- :class:`DeltaSegment`, the in-memory
+  SubtreeIndex-shaped memtable over recently added trees.
+* :mod:`repro.live.manifest` -- the epoch-stamped JSON manifest listing the
+  immutable base segments; swapped atomically by compaction.
+* :mod:`repro.live.live` -- :class:`LiveIndex`: the full ``SubtreeIndex``
+  read API over segments + delta with tombstone filtering, plus
+  ``add_tree`` / ``delete_tree`` / ``compact`` and crash recovery.
+
+The serving layer lives with the other services
+(:class:`repro.service.live.LiveQueryService`), and ``SubtreeIndex.open`` /
+``QueryService.open`` / the CLI all dispatch here when pointed at a live
+manifest.
+"""
+
+from repro.live.delta import DeltaSegment
+from repro.live.live import CompactionStats, LiveIndex, LiveSegment, LiveTreeStore, open_live
+from repro.live.manifest import (
+    LIVE_SUFFIX,
+    LiveIndexError,
+    LiveManifest,
+    SegmentEntry,
+    is_live_manifest,
+    wal_file_path,
+)
+from repro.live.wal import WalError, WalOp, WriteAheadLog
+
+__all__ = [
+    "LiveIndex",
+    "LiveSegment",
+    "LiveTreeStore",
+    "CompactionStats",
+    "open_live",
+    "DeltaSegment",
+    "LiveManifest",
+    "SegmentEntry",
+    "LiveIndexError",
+    "is_live_manifest",
+    "wal_file_path",
+    "LIVE_SUFFIX",
+    "WriteAheadLog",
+    "WalOp",
+    "WalError",
+]

@@ -1,0 +1,103 @@
+"""The in-memory delta segment: a SubtreeIndex-shaped memtable.
+
+Recently added trees live here until :meth:`repro.live.live.LiveIndex.compact`
+flushes them into an immutable on-disk segment.  The delta stores exactly
+what a freshly built :class:`~repro.core.index.SubtreeIndex` over the same
+trees would store -- per-tree key occurrences run through the *same*
+enumeration (:func:`repro.core.enumeration.enumerate_key_occurrences`) and
+the *same* coding scheme -- so merging delta postings with base-segment
+postings by tid is byte-identical to a full rebuild.
+
+Trees must be added in ascending tid order (the live index assigns
+monotonically increasing tids and never reuses one), which keeps every
+posting list tid-ascending by construction -- the invariant the k-way merge
+and the join operators rely on.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Tuple
+
+from repro.coding.base import CodingScheme
+from repro.core.enumeration import enumerate_key_occurrences
+from repro.trees.node import ParseTree
+
+
+class DeltaSegment:
+    """An in-memory subtree index over the trees added since the last compaction."""
+
+    def __init__(self, mss: int, coding: CodingScheme):
+        self.mss = mss
+        self.coding = coding
+        #: tid -> tree, in insertion (= ascending tid) order.
+        self.trees: Dict[int, ParseTree] = {}
+        self._postings: Dict[bytes, List[object]] = {}
+        self.posting_count = 0
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def add_tree(self, tree: ParseTree) -> None:
+        """Index one tree; its tid must exceed every tid already present.
+
+        Publication is copy-on-write per key: the new posting list is built
+        aside and swapped in with one rebind, so a concurrent reader holding
+        the list :meth:`lookup` returned sees a stable snapshot -- never a
+        half-extended one.  (Readers racing the *whole* add may still see
+        the new tree on some keys and not yet on others; see
+        :class:`repro.live.live.LiveIndex` for the visibility contract.)
+        """
+        if tree.tid < 0:
+            raise ValueError("delta trees need an assigned tid")
+        if self.trees and tree.tid <= next(reversed(self.trees)):
+            raise ValueError(
+                f"delta tids must be ascending: got {tree.tid} after "
+                f"{next(reversed(self.trees))}"
+            )
+        per_key: Dict[bytes, List] = {}
+        for key, occurrence in enumerate_key_occurrences(tree, self.mss):
+            per_key.setdefault(key, []).append(occurrence)
+        self.trees[tree.tid] = tree  # the tree before its postings: a posting
+        # a reader can see must always name a fetchable tree
+        for key, occurrences in per_key.items():
+            postings = self.coding.postings_from_occurrences(occurrences)
+            existing = self._postings.get(key)
+            self._postings[key] = postings if existing is None else existing + postings
+            self.posting_count += len(postings)
+
+    # ------------------------------------------------------------------
+    # The SubtreeIndex-shaped read surface
+    # ------------------------------------------------------------------
+    def lookup(self, key: bytes) -> List[object]:
+        """The delta's posting list of *key* (empty when absent)."""
+        return self._postings.get(key, [])
+
+    def has_key(self, key: bytes) -> bool:
+        """``True`` when any delta tree contains *key*."""
+        return key in self._postings
+
+    def items(self) -> Iterator[Tuple[bytes, List[object]]]:
+        """Yield ``(key bytes, posting list)`` pairs in ascending key order."""
+        for key in sorted(self._postings):
+            yield key, self._postings[key]
+
+    # ------------------------------------------------------------------
+    @property
+    def tree_count(self) -> int:
+        """Number of trees in the delta (tombstoned ones included)."""
+        return len(self.trees)
+
+    @property
+    def key_count(self) -> int:
+        """Number of distinct keys the delta indexes."""
+        return len(self._postings)
+
+    def tids(self) -> List[int]:
+        """All delta tids in ascending order."""
+        return list(self.trees)
+
+    def clear(self) -> None:
+        """Drop every tree and posting (after a compaction flushed them)."""
+        self.trees.clear()
+        self._postings.clear()
+        self.posting_count = 0

@@ -1,0 +1,177 @@
+"""The live-index manifest: the openable catalogue of immutable segments.
+
+A live index on disk is a set of immutable base segments (each a complete
+``SubtreeIndex`` + ``TreeStore`` pair, exactly like a shard), one
+write-ahead log, and this manifest tying them together::
+
+    {
+      "format": "repro-live-index",
+      "version": 1,
+      "mss": 3,
+      "coding": "root-split",
+      "epoch": 4,
+      "next_tid": 1240,
+      "next_segment_id": 6,
+      "segments": [
+        {"segment_id": 0, "index_path": "corpus.seg000",
+         "data_path": "corpus.seg000.data", "tree_count": 1200,
+         "key_count": 9120, "posting_count": 60233, "build_seconds": 0.95,
+         "min_tid": 0, "max_tid": 1199},
+        ...
+      ]
+    }
+
+The manifest is the unit of atomicity: every compaction writes the new
+segment files first, then replaces the manifest in one :func:`os.replace`
+with the epoch bumped.  Readers opening the index see either the old epoch
+(plus the still-intact old WAL) or the new one -- never a half state.
+Segment ids are never reused, so a rewritten segment gets fresh filenames
+and the files named by the *old* manifest stay valid until the swap.
+
+Paths are stored relative to the manifest's directory, so the whole bundle
+(manifest + segments + WAL) can be moved or copied as one, mirroring the
+sharded manifest's convention.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import asdict, dataclass, field
+from typing import List, Tuple
+
+#: Identifies a live-index manifest file regardless of its filename.
+LIVE_FORMAT = "repro-live-index"
+LIVE_VERSION = 1
+#: Conventional filename suffix of a live manifest.
+LIVE_SUFFIX = ".live.json"
+
+
+class LiveIndexError(RuntimeError):
+    """A live-index file is missing, corrupt, or inconsistent with its manifest."""
+
+
+@dataclass
+class SegmentEntry:
+    """One immutable segment's files and counters, as the manifest records them."""
+
+    segment_id: int
+    index_path: str  # relative to the manifest directory
+    data_path: str   # relative to the manifest directory
+    tree_count: int
+    key_count: int
+    posting_count: int
+    build_seconds: float
+    min_tid: int
+    max_tid: int
+
+
+@dataclass
+class LiveManifest:
+    """The parsed contents of a live-index manifest file."""
+
+    mss: int
+    coding: str
+    epoch: int
+    next_tid: int
+    next_segment_id: int
+    segments: List[SegmentEntry] = field(default_factory=list)
+
+    # ------------------------------------------------------------------
+    def to_json(self) -> str:
+        payload = {
+            "format": LIVE_FORMAT,
+            "version": LIVE_VERSION,
+            "mss": self.mss,
+            "coding": self.coding,
+            "epoch": self.epoch,
+            "next_tid": self.next_tid,
+            "next_segment_id": self.next_segment_id,
+            "segments": [asdict(entry) for entry in self.segments],
+        }
+        return json.dumps(payload, indent=2) + "\n"
+
+    def save_atomic(self, path: str) -> None:
+        """Write the manifest durably: temp file, fsync, then one rename."""
+        tmp = path + ".tmp"
+        with open(tmp, "w", encoding="utf-8") as handle:
+            handle.write(self.to_json())
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, path)
+
+    @classmethod
+    def load(cls, path: str) -> "LiveManifest":
+        """Read and validate a manifest written by :meth:`save_atomic`."""
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                payload = json.load(handle)
+        except (OSError, ValueError) as error:
+            raise LiveIndexError(f"cannot read live manifest {path!r}: {error}") from error
+        if payload.get("format") != LIVE_FORMAT:
+            raise LiveIndexError(f"{path!r} is not a live-index manifest")
+        version = payload.get("version")
+        if version != LIVE_VERSION:
+            raise LiveIndexError(
+                f"unsupported live-manifest version {version!r} in {path!r} "
+                f"(this build reads version {LIVE_VERSION})"
+            )
+        return cls(
+            mss=payload["mss"],
+            coding=payload["coding"],
+            epoch=payload["epoch"],
+            next_tid=payload["next_tid"],
+            next_segment_id=payload["next_segment_id"],
+            segments=[SegmentEntry(**entry) for entry in payload["segments"]],
+        )
+
+    # ------------------------------------------------------------------
+    @property
+    def tree_count(self) -> int:
+        """Total trees across all base segments (the delta is not on disk)."""
+        return sum(entry.tree_count for entry in self.segments)
+
+    def resolve(self, manifest_path: str, relative: str) -> str:
+        """Resolve a segment-relative path against the manifest's directory."""
+        return os.path.join(os.path.dirname(os.path.abspath(manifest_path)), relative)
+
+
+def is_live_manifest(path: str) -> bool:
+    """``True`` when *path* names an existing live-index manifest.
+
+    Sniffs the content rather than trusting the filename, matching
+    :func:`repro.shard.manifest.is_manifest`.
+    """
+    if not os.path.isfile(path):
+        return False
+    try:
+        with open(path, "rb") as handle:
+            head = handle.read(512)
+    except OSError:
+        return False
+    return LIVE_FORMAT.encode("ascii") in head
+
+
+def live_stem(manifest_path: str) -> str:
+    """The manifest's filename without :data:`LIVE_SUFFIX` (segment/WAL prefix)."""
+    base = os.path.basename(manifest_path)
+    if base.endswith(LIVE_SUFFIX):
+        base = base[: -len(LIVE_SUFFIX)]
+    return base
+
+
+def segment_file_names(manifest_path: str, segment_id: int) -> Tuple[str, str]:
+    """The conventional (index, data) filenames of one segment.
+
+    ``corpus.live.json`` -> ``corpus.seg000`` / ``corpus.seg000.data``; both
+    relative to the manifest's directory.  Segment ids are never reused, so
+    these names are unique for the lifetime of the index.
+    """
+    index_name = f"{live_stem(manifest_path)}.seg{segment_id:03d}"
+    return index_name, index_name + ".data"
+
+
+def wal_file_path(manifest_path: str) -> str:
+    """The write-ahead-log path conventionally stored next to the manifest."""
+    directory = os.path.dirname(os.path.abspath(manifest_path))
+    return os.path.join(directory, live_stem(manifest_path) + ".wal")

@@ -12,7 +12,7 @@ needs the more constrained *root-split covers* of Definition 8.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import Dict, FrozenSet, Iterable, List, Sequence, Set, Tuple
 
 from repro.core.keys import canonical_key
 from repro.query.model import QueryNode, QueryTree

@@ -39,7 +39,7 @@ joins.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 from repro.core.keys import canonical_key
 from repro.query.covers import Cover, CoverSubtree, make_subtree

@@ -9,7 +9,7 @@ parallel ``child_axes`` list.
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+from typing import Dict, Iterator, List, Optional, Tuple
 
 from repro.trees.matching import AXIS_CHILD, AXIS_DESCENDANT
 from repro.trees.node import Node, ParseTree

@@ -25,7 +25,7 @@ Whitespace around tokens is ignored.
 
 from __future__ import annotations
 
-from typing import List, Tuple
+
 
 from repro.query.model import QueryNode, QueryTree
 from repro.trees.matching import AXIS_CHILD, AXIS_DESCENDANT

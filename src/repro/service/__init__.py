@@ -11,9 +11,13 @@
   semantics over a :class:`~repro.shard.sharded.ShardedIndex`: one global
   plan/result cache, a posting cache *per shard*, and fan-out execution.
   ``QueryService.open`` dispatches here automatically for manifests.
+* :mod:`repro.service.live` -- :class:`LiveQueryService`, serving over a
+  mutable :class:`~repro.live.live.LiveIndex` with version-keyed cache
+  invalidation (postings/results on every mutation, plans on epoch bumps).
 """
 
 from repro.service.cache import CacheStats, LRUCache, StripedLRUCache
+from repro.service.live import LiveQueryService, LiveServiceStats
 from repro.service.service import PreparedQuery, QueryService, ServiceStats
 from repro.service.sharded import (
     ShardedQueryService,
@@ -24,9 +28,11 @@ from repro.service.sharded import (
 __all__ = [
     "QueryService",
     "ShardedQueryService",
+    "LiveQueryService",
     "PreparedQuery",
     "ServiceStats",
     "ShardedServiceStats",
+    "LiveServiceStats",
     "ShardLayerStats",
     "LRUCache",
     "StripedLRUCache",

@@ -22,7 +22,7 @@ from __future__ import annotations
 import threading
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Hashable, List, Optional
+from typing import Hashable, List
 
 
 @dataclass

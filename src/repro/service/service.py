@@ -161,10 +161,11 @@ class QueryService:
     def open(cls, index_path: str, **kwargs: object) -> "QueryService":
         """Open an index file (and its ``.data`` file, if present) for serving.
 
-        Pointed at a sharded-index manifest, this returns a
-        :class:`~repro.service.sharded.ShardedQueryService` instead, which
-        serves the same API with per-shard fan-out and caching.  The service
-        owns what it opens: :meth:`close` releases every file.
+        Pointed at a sharded-index manifest this returns a
+        :class:`~repro.service.sharded.ShardedQueryService`, and at a
+        live-index manifest a :class:`~repro.service.live.LiveQueryService`
+        -- both serve the same API.  The service owns what it opens:
+        :meth:`close` releases every file.
         """
         from repro.shard.manifest import is_manifest  # local: shard builds on service
 
@@ -172,6 +173,12 @@ class QueryService:
             from repro.service.sharded import ShardedQueryService
 
             return ShardedQueryService.open(index_path, **kwargs)
+        from repro.live.manifest import is_live_manifest  # local: live builds on service
+
+        if cls is QueryService and is_live_manifest(index_path):
+            from repro.service.live import LiveQueryService
+
+            return LiveQueryService.open(index_path, **kwargs)
         index = SubtreeIndex.open(index_path)  # raises FileNotFoundError if missing
         data_path = data_file_path(index_path)
         store = TreeStore(data_path) if os.path.exists(data_path) else None

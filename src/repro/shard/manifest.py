@@ -60,7 +60,14 @@ class ShardEntry:
 
 @dataclass
 class ShardManifest:
-    """The parsed contents of a sharded-index manifest file."""
+    """The parsed contents of a sharded-index manifest file.
+
+    ``epoch`` counts manifest generations: 0 for a one-shot build, bumped
+    whenever a writer (e.g. a rebuild, or the live index flushing into a
+    sharded layout) swaps a new manifest over an old one.  Readers that
+    cache derived state key their invalidation on it.  Absent in manifests
+    written before the field existed, it defaults to 0.
+    """
 
     mss: int
     coding: str
@@ -69,6 +76,7 @@ class ShardManifest:
     tree_count: int
     build_wall_seconds: float
     shards: List[ShardEntry] = field(default_factory=list)
+    epoch: int = 0
 
     # ------------------------------------------------------------------
     def to_json(self) -> str:
@@ -81,6 +89,7 @@ class ShardManifest:
             "shard_count": self.shard_count,
             "tree_count": self.tree_count,
             "build_wall_seconds": self.build_wall_seconds,
+            "epoch": self.epoch,
             "shards": [asdict(entry) for entry in self.shards],
         }
         return json.dumps(payload, indent=2) + "\n"
@@ -114,6 +123,7 @@ class ShardManifest:
             tree_count=payload["tree_count"],
             build_wall_seconds=payload["build_wall_seconds"],
             shards=[ShardEntry(**entry) for entry in payload["shards"]],
+            epoch=payload.get("epoch", 0),
         )
         if len(manifest.shards) != manifest.shard_count:
             raise ShardError(

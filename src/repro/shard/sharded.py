@@ -27,7 +27,7 @@ from typing import Iterator, List, Optional, Sequence, Tuple
 from repro.coding.base import CodingScheme, get_coding
 from repro.core.index import IndexMetadata, SubtreeIndex
 from repro.core.keys import SubtreeKey, decode_key
-from repro.corpus.store import TreeStore, data_file_path
+from repro.corpus.store import TreeStore
 from repro.shard.builder import build_sharded
 from repro.shard.manifest import ShardEntry, ShardError, ShardManifest, is_manifest
 from repro.shard.partitioner import Partitioner, get_partitioner

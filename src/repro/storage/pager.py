@@ -10,7 +10,7 @@ operating system", Section 6.1.
 from __future__ import annotations
 
 import os
-from typing import Dict, Optional
+from typing import Dict
 
 #: Default page size in bytes (matches the paper's reported system page size).
 PAGE_SIZE = 4096

@@ -12,7 +12,6 @@ from repro.coding import (
     RootPosting,
     RootSplitCoding,
     SubtreeIntervalCoding,
-    SubtreePosting,
     get_coding,
 )
 from repro.coding.base import coding_names

@@ -7,7 +7,6 @@ from hypothesis import given, strategies as st
 
 from repro.core.keys import (
     KeyFormatError,
-    SubtreeKey,
     canonical_key,
     decode_key,
     key_from_node,

@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-import pytest
 
 from repro.coding.base import Occurrence
 from repro.coding.root_split import RootSplitCoding

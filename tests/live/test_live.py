@@ -1,0 +1,323 @@
+"""Integration tests for the live index: mutation equivalence.
+
+The heart of this module is the acceptance property: after *any*
+interleaving of ``add_tree`` / ``delete_tree`` / ``compact``, a live index
+must return byte-identical, tid-ordered results to a **fresh full rebuild**
+over the surviving corpus -- for every workload query (the full WH set plus
+a generated FB set) and every coding scheme, and again after closing and
+reopening (WAL replay).
+"""
+
+from __future__ import annotations
+
+import json
+import random
+
+import pytest
+
+from repro.core.index import SubtreeIndex
+from repro.corpus.generator import CorpusGenerator
+from repro.corpus.store import Corpus
+from repro.exec.executor import QueryExecutor
+from repro.live import LiveIndex, LiveIndexError
+from repro.workloads.fb import generate_fb_queries
+from repro.workloads.wh import generate_wh_queries
+
+CODINGS = ("filter", "root-split", "subtree-interval")
+MSS = 3
+
+
+@pytest.fixture(scope="module")
+def workdir(tmp_path_factory):
+    return tmp_path_factory.mktemp("live")
+
+
+@pytest.fixture(scope="module")
+def workload(small_corpus):
+    """Every workload query: the 48 WH queries plus a generated FB set."""
+    queries = [item.query for item in generate_wh_queries()]
+    held_out = CorpusGenerator(seed=101).generate_list(30)
+    fb = generate_fb_queries(
+        indexed_trees=list(small_corpus),
+        held_out_trees=held_out,
+        max_size=6,
+        seed=7,
+    )
+    queries.extend(item.query for item in fb)
+    assert len(queries) > 60
+    return queries
+
+
+def assert_identical_and_tid_ordered(live_result, fresh_result) -> None:
+    """Byte-identical matches, with the live dict in ascending tid order."""
+    assert json.dumps(live_result.matches_per_tree, sort_keys=True) == json.dumps(
+        fresh_result.matches_per_tree, sort_keys=True
+    )
+    tids = list(live_result.matches_per_tree)
+    assert tids == sorted(tids)
+    assert live_result.matched_tids == fresh_result.matched_tids
+
+
+def fresh_rebuild_executor(workdir, coding, trees, tag):
+    """A QueryExecutor over a from-scratch index of *trees* (tids kept)."""
+    path = str(workdir / f"fresh-{coding}-{tag}.si")
+    index = SubtreeIndex.build(trees, mss=MSS, coding=coding, path=path)
+    return QueryExecutor(index, store=Corpus(trees))
+
+
+def run_interleaving(live: LiveIndex, pending, rng) -> None:
+    """Apply a random interleaving of adds, deletes and compactions."""
+    while pending:
+        roll = rng.random()
+        if roll < 0.55:
+            live.add_tree(pending.pop(0).root)
+        elif roll < 0.85:
+            tids = live.store.tids()
+            if tids:
+                live.delete_tree(rng.choice(tids))
+        else:
+            live.compact()
+
+
+class TestMutationEquivalence:
+    """The acceptance property, per coding, over the full workload."""
+
+    @pytest.mark.parametrize("coding", CODINGS)
+    def test_interleaving_matches_fresh_rebuild(
+        self, workdir, small_corpus, workload, coding
+    ) -> None:
+        rng = random.Random(sum(coding.encode()))  # deterministic per coding
+        seed_trees = list(small_corpus)[:80]
+        pending = list(small_corpus)[80:]
+        live = LiveIndex.create(
+            str(workdir / f"eq-{coding}"), mss=MSS, coding=coding, trees=seed_trees
+        )
+        try:
+            run_interleaving(live, pending, rng)
+            # Leave the index mid-lifecycle: some delta, some tombstones.
+            extra = CorpusGenerator(seed=303).generate_list(10)
+            for tree in extra[:5]:
+                live.add_tree(tree.root)
+            live.delete_tree(live.store.tids()[0])
+
+            survivors = list(live.store)
+            reference = fresh_rebuild_executor(workdir, coding, survivors, "mid")
+            transparent = QueryExecutor(live, store=live.store)
+            for query in workload:
+                assert_identical_and_tid_ordered(
+                    transparent.execute(query), reference.execute(query)
+                )
+
+            # Compact everything down and compare again on a sample.
+            live.compact()
+            assert not live.tombstones
+            assert live.delta.tree_count == 0
+            assert live.wal.op_count == 0
+            compacted = QueryExecutor(live, store=live.store)
+            for query in workload[::7]:
+                assert_identical_and_tid_ordered(
+                    compacted.execute(query), reference.execute(query)
+                )
+        finally:
+            live.close()
+
+    def test_reopen_replays_wal_identically(self, workdir, small_corpus, workload) -> None:
+        seed_trees = list(small_corpus)[:60]
+        live = LiveIndex.create(
+            str(workdir / "reopen"), mss=MSS, coding="root-split", trees=seed_trees
+        )
+        extra = CorpusGenerator(seed=404).generate_list(12)
+        for tree in extra:
+            live.add_tree(tree.root)
+        live.delete_tree(7)
+        live.delete_tree(62)
+        expected_tids = live.store.tids()
+        live.close()
+
+        reopened = LiveIndex.open(str(workdir / "reopen") + ".live.json")
+        try:
+            assert reopened.store.tids() == expected_tids
+            assert reopened.tombstones == frozenset({7, 62})
+            assert reopened.delta.tree_count == 12
+            survivors = list(reopened.store)
+            reference = fresh_rebuild_executor(workdir, "root-split", survivors, "reopen")
+            transparent = QueryExecutor(reopened, store=reopened.store)
+            for query in workload[::5]:
+                assert_identical_and_tid_ordered(
+                    transparent.execute(query), reference.execute(query)
+                )
+        finally:
+            reopened.close()
+
+
+class TestLifecycle:
+    def test_create_open_roundtrip_and_dispatch(self, workdir, tiny_corpus) -> None:
+        live = LiveIndex.create(
+            str(workdir / "dispatch"), mss=2, coding="root-split", trees=list(tiny_corpus)
+        )
+        manifest_path = live.manifest_path
+        live.close()
+        via_open = SubtreeIndex.open(manifest_path)
+        try:
+            assert isinstance(via_open, LiveIndex)
+            assert via_open.tree_count == len(tiny_corpus)
+            assert via_open.epoch == 0
+        finally:
+            via_open.close()
+
+    def test_empty_index_grows_from_nothing(self, workdir) -> None:
+        live = LiveIndex.create(str(workdir / "empty"), mss=2, coding="root-split")
+        try:
+            assert live.tree_count == 0
+            assert live.segment_count == 0
+            assert live.lookup("NP(DT)") == []
+            tid = live.add_tree("(ROOT (S (NP (DT the) (NN dog)) (VP (VBZ runs))))")
+            assert tid == 0
+            assert live.posting_list_length("NP(DT)") == 1
+            live.compact()
+            assert live.segment_count == 1
+            assert live.posting_list_length("NP(DT)") == 1
+        finally:
+            live.close()
+
+    def test_tids_are_monotonic_and_never_reused(self, workdir, tiny_corpus) -> None:
+        live = LiveIndex.create(
+            str(workdir / "monotonic"), mss=2, coding="root-split",
+            trees=list(tiny_corpus)[:5],
+        )
+        try:
+            first = live.add_tree(tiny_corpus[5].root)
+            assert first == 5
+            live.delete_tree(first)
+            second = live.add_tree(tiny_corpus[6].root)
+            assert second == 6  # the deleted tid is not recycled
+            live.compact()
+            third = live.add_tree(tiny_corpus[7].root)
+            assert third == 7
+        finally:
+            live.close()
+
+    def test_delete_validation(self, workdir, tiny_corpus) -> None:
+        live = LiveIndex.create(
+            str(workdir / "delete"), mss=2, coding="root-split",
+            trees=list(tiny_corpus)[:5],
+        )
+        try:
+            with pytest.raises(KeyError):
+                live.delete_tree(99)
+            live.delete_tree(2)
+            with pytest.raises(KeyError):  # double delete
+                live.delete_tree(2)
+            with pytest.raises(KeyError):
+                live.store.get(2)
+            assert 2 not in live.store
+        finally:
+            live.close()
+
+    def test_compact_drops_fully_deleted_segments(self, workdir, tiny_corpus) -> None:
+        live = LiveIndex.create(
+            str(workdir / "drop"), mss=2, coding="root-split",
+            trees=list(tiny_corpus)[:4],
+        )
+        try:
+            for tree in list(tiny_corpus)[4:8]:
+                live.add_tree(tree.root)
+            live.compact()  # two segments now
+            assert live.segment_count == 2
+            for tid in live.segments[0].store.tids():
+                live.delete_tree(tid)
+            stats = live.compact()
+            assert stats.segments_dropped == 1
+            assert live.segment_count == 1
+            assert live.tree_count == 4
+        finally:
+            live.close()
+
+    def test_compact_noop(self, workdir, tiny_corpus) -> None:
+        live = LiveIndex.create(
+            str(workdir / "noop"), mss=2, coding="root-split", trees=list(tiny_corpus)[:3]
+        )
+        try:
+            stats = live.compact()
+            assert stats.noop
+            assert live.epoch == 0
+        finally:
+            live.close()
+
+    def test_items_match_fresh_rebuild(self, workdir, tiny_corpus) -> None:
+        live = LiveIndex.create(
+            str(workdir / "items"), mss=2, coding="root-split",
+            trees=list(tiny_corpus)[:10],
+        )
+        try:
+            for tree in list(tiny_corpus)[10:15]:
+                live.add_tree(tree.root)
+            live.delete_tree(3)
+            live.delete_tree(12)
+            survivors = list(live.store)
+            fresh = SubtreeIndex.build(
+                survivors, mss=2, coding="root-split", path=str(workdir / "items-fresh.si")
+            )
+            live_items = [
+                (key, [p.tid for p in postings]) for key, postings in live.items()
+            ]
+            fresh_items = [
+                (key, [p.tid for p in postings]) for key, postings in fresh.items()
+            ]
+            assert live_items == fresh_items
+            assert [k.encode() for k in live.keys()] == [key for key, _ in fresh_items]
+            fresh.close()
+        finally:
+            live.close()
+
+    def test_compaction_retires_replaced_segments_for_inflight_readers(
+        self, workdir, tiny_corpus
+    ) -> None:
+        """A reader's segment_handles() snapshot stays usable across a
+        compaction that replaces (and unlinks) those segments' files."""
+        live = LiveIndex.create(
+            str(workdir / "retire"), mss=2, coding="root-split",
+            trees=list(tiny_corpus)[:8],
+        )
+        try:
+            snapshot = live.segment_handles()
+            before = snapshot[0].index.lookup(b"NP(DT)")
+            live.delete_tree(0)  # forces the segment rewrite on compact
+            live.compact()
+            # The old handle still reads the old (pre-delete) epoch's files.
+            assert snapshot[0].index.lookup(b"NP(DT)") == before
+            assert snapshot[0].store.get(0).tid == 0
+            # The live index itself serves the new epoch.
+            assert all(p.tid != 0 for p in live.lookup(b"NP(DT)"))
+        finally:
+            live.close()
+
+    def test_posting_lists_are_published_copy_on_write(self, workdir, tiny_corpus) -> None:
+        """A posting list a reader fetched is a stable snapshot: a later add
+        rebinds, never extends, the delta's shared lists."""
+        live = LiveIndex.create(str(workdir / "cow"), mss=2, coding="root-split")
+        try:
+            live.add_tree(tiny_corpus[0].root)
+            held = live.delta.lookup(b"NP(DT)")
+            length = len(held)
+            for tree in list(tiny_corpus)[1:6]:
+                live.add_tree(tree.root)
+            assert len(held) == length  # the held list never mutated
+            assert len(live.delta.lookup(b"NP(DT)")) > length
+        finally:
+            live.close()
+
+    def test_open_errors_name_the_segment(self, workdir, tiny_corpus) -> None:
+        live = LiveIndex.create(
+            str(workdir / "err"), mss=2, coding="root-split", trees=list(tiny_corpus)[:4]
+        )
+        manifest_path = live.manifest_path
+        segment_file = live.manifest.resolve(
+            manifest_path, live.manifest.segments[0].index_path
+        )
+        live.close()
+        import os
+
+        os.remove(segment_file)
+        with pytest.raises(LiveIndexError, match=r"segment 0 is missing"):
+            LiveIndex.open(manifest_path)

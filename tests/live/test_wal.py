@@ -1,0 +1,83 @@
+"""Unit tests for the write-ahead log: durability, replay, torn tails."""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.live.wal import WalError, WriteAheadLog
+
+
+def test_append_and_replay_roundtrip(tmp_path) -> None:
+    path = str(tmp_path / "log.wal")
+    wal = WriteAheadLog.create(path, epoch=3)
+    wal.append_add(10, "(ROOT (S (NP (DT a)) (VP (VBZ b))))")
+    wal.append_delete(4)
+    wal.append_add(11, "(ROOT (NP (NN c)))")
+    assert wal.op_count == 3
+    wal.close()
+
+    reopened, ops = WriteAheadLog.open(path)
+    assert reopened.epoch == 3
+    assert reopened.op_count == 3
+    assert [(op.op, op.tid) for op in ops] == [("add", 10), ("delete", 4), ("add", 11)]
+    assert ops[0].tree == "(ROOT (S (NP (DT a)) (VP (VBZ b))))"
+    assert ops[1].tree is None
+    # The reopened log keeps appending from where it left off.
+    reopened.append_delete(10)
+    reopened.close()
+    _, ops = WriteAheadLog.open(path)
+    assert len(ops) == 4
+
+
+def test_torn_final_record_is_truncated(tmp_path) -> None:
+    path = str(tmp_path / "torn.wal")
+    wal = WriteAheadLog.create(path, epoch=0)
+    wal.append_add(0, "(ROOT (NN x))")
+    wal.append_delete(0)
+    wal.close()
+    good_size = os.path.getsize(path)
+    with open(path, "ab") as handle:  # a crash mid-append: half a record
+        handle.write(b"0abc4f2 {\"op\": \"add\", \"tid\": 9")
+
+    reopened, ops = WriteAheadLog.open(path)
+    reopened.close()
+    assert len(ops) == 2  # the torn tail is dropped, earlier ops survive
+    assert os.path.getsize(path) == good_size  # and physically truncated
+
+
+def test_corruption_mid_file_raises(tmp_path) -> None:
+    path = str(tmp_path / "corrupt.wal")
+    wal = WriteAheadLog.create(path, epoch=0)
+    wal.append_add(0, "(ROOT (NN x))")
+    wal.append_add(1, "(ROOT (NN y))")
+    wal.close()
+    with open(path, "r+b") as handle:  # flip a byte inside the *first* op
+        handle.seek(70)
+        byte = handle.read(1)
+        handle.seek(70)
+        handle.write(b"X" if byte != b"X" else b"Y")
+    with pytest.raises(WalError, match="corrupt mid-file"):
+        WriteAheadLog.open(path)
+
+
+def test_non_wal_file_is_rejected(tmp_path) -> None:
+    path = str(tmp_path / "not-a.wal")
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write("hello\n")
+    with pytest.raises(WalError, match="not a live-index write-ahead log"):
+        WriteAheadLog.open(path)
+
+
+def test_create_truncates_existing_log(tmp_path) -> None:
+    path = str(tmp_path / "fresh.wal")
+    old = WriteAheadLog.create(path, epoch=0)
+    old.append_delete(1)
+    old.close()
+    fresh = WriteAheadLog.create(path, epoch=1)
+    fresh.close()
+    reopened, ops = WriteAheadLog.open(path)
+    reopened.close()
+    assert reopened.epoch == 1
+    assert ops == []

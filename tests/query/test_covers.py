@@ -6,7 +6,6 @@ import pytest
 
 from repro.query.covers import (
     Cover,
-    CoverSubtree,
     has_deep_branching_anomaly,
     is_node_cover,
     is_root_split_cover,

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.query.model import QueryNode, QueryTree, has_duplicate_siblings, query_from_node, query_from_tree
+from repro.query.model import QueryNode, has_duplicate_siblings, query_from_tree
 from repro.query.parser import QuerySyntaxError, parse_query
 from repro.trees.node import build_tree
 

@@ -129,6 +129,114 @@ class TestSharded:
         assert "shards" not in plain
 
 
+class TestLive:
+    @pytest.fixture()
+    def live_manifest(self, tmp_path, corpus_file) -> str:
+        out = str(tmp_path / "live.si")
+        assert main(["build", corpus_file, "--mss", "3", "--live", "--out", out]) == 0
+        return out + ".live.json"
+
+    @pytest.fixture()
+    def extra_file(self, tmp_path) -> str:
+        path = str(tmp_path / "extra.penn")
+        assert main(["generate", "--sentences", "6", "--seed", "9", "--out", path]) == 0
+        return path
+
+    def test_build_live_reports_manifest(self, tmp_path, corpus_file, capsys) -> None:
+        out = str(tmp_path / "b.si")
+        assert main(["build", corpus_file, "--live", "--out", out]) == 0
+        captured = capsys.readouterr().out
+        assert "built live root-split index" in captured
+        assert "manifest:" in captured
+
+    def test_build_live_rejects_shards(self, tmp_path, corpus_file, capsys) -> None:
+        out = str(tmp_path / "b.si")
+        assert main(["build", corpus_file, "--live", "--shards", "2", "--out", out]) == 2
+        assert "--live and --shards" in capsys.readouterr().err
+
+    def test_add_then_query_sees_new_trees(self, live_manifest, extra_file, capsys) -> None:
+        assert main(["query", live_manifest, "NP"]) == 0
+        before = int(capsys.readouterr().out.split(":")[1].split()[0])
+        assert main(["add", live_manifest, extra_file]) == 0
+        assert "added 6 trees" in capsys.readouterr().out
+        assert main(["query", live_manifest, "NP"]) == 0
+        after = int(capsys.readouterr().out.split(":")[1].split()[0])
+        assert after > before
+
+    def test_add_missing_corpus_is_friendly(self, live_manifest, tmp_path, capsys) -> None:
+        assert main(["add", live_manifest, str(tmp_path / "nope.penn")]) == 2
+        assert "corpus file not found" in capsys.readouterr().err
+
+    def test_add_malformed_corpus_is_friendly(self, live_manifest, tmp_path, capsys) -> None:
+        bad = tmp_path / "bad.penn"
+        bad.write_text("(NP ((BAD\n", encoding="utf-8")
+        assert main(["add", live_manifest, str(bad)]) == 2
+        assert "cannot read corpus" in capsys.readouterr().err
+
+    def test_add_to_non_live_index_is_friendly(self, index_file, extra_file, capsys) -> None:
+        assert main(["add", index_file, extra_file]) == 2
+        assert "not a live index" in capsys.readouterr().err
+
+    def test_delete_and_unknown_tid(self, live_manifest, capsys) -> None:
+        assert main(["delete", live_manifest, "3", "5"]) == 0
+        assert "deleted 2 of 2" in capsys.readouterr().out
+        assert main(["delete", live_manifest, "3"]) == 2  # already deleted
+        assert "no tree with tid 3" in capsys.readouterr().err
+
+    def test_compact_and_stats(self, live_manifest, extra_file, capsys) -> None:
+        assert main(["add", live_manifest, extra_file]) == 0
+        assert main(["delete", live_manifest, "0"]) == 0
+        capsys.readouterr()
+        assert main(["compact", live_manifest]) == 0
+        out = capsys.readouterr().out
+        assert "compacted to epoch 1" in out
+        assert "flushed 6 delta trees" in out
+        assert main(["compact", live_manifest]) == 0
+        assert "nothing to compact" in capsys.readouterr().out
+        assert main(["stats", live_manifest]) == 0
+        out = capsys.readouterr().out
+        assert "kind            : live (epoch 1)" in out
+        assert "delta           : 0 trees" in out
+        assert "wal             : 0 ops" in out
+
+    def test_stats_json_live_payload(self, live_manifest, extra_file, capsys) -> None:
+        assert main(["add", live_manifest, extra_file]) == 0
+        capsys.readouterr()
+        assert main(["stats", live_manifest, "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["live"] is True
+        assert payload["sharded"] is False
+        assert payload["key_count_semantics"] == "per-source-sum"
+        assert payload["epoch"] == 0
+        assert payload["delta"]["tree_count"] == 6
+        assert payload["wal"]["ops"] == 6
+        assert payload["tree_count"] == 46
+        assert len(payload["segments"]) == 1
+
+
+class TestExplain:
+    def test_explain_prints_plan_without_joining(self, index_file, capsys) -> None:
+        assert main(["query", index_file, "S(NP)(VP(VBZ))", "--explain"]) == 0
+        out = capsys.readouterr().out
+        assert "plan: strategy=min-rc, mss=3, coding=root-split" in out
+        assert "cover:" in out
+        assert "postings" in out
+        assert "join phase not executed" in out
+        assert "matches" not in out  # no execution happened
+
+    def test_explain_rejects_batch_and_repeat(self, index_file, capsys) -> None:
+        assert main(["query", index_file, "NP", "--explain", "--batch"]) == 2
+        assert "--explain cannot be combined" in capsys.readouterr().err
+        assert main(["query", index_file, "NP", "--explain", "--repeat", "3"]) == 2
+
+    def test_explain_works_on_live_index(self, tmp_path, corpus_file, capsys) -> None:
+        out = str(tmp_path / "exp.si")
+        assert main(["build", corpus_file, "--live", "--out", out]) == 0
+        capsys.readouterr()
+        assert main(["query", out + ".live.json", "NP(DT)(NN)", "--explain"]) == 0
+        assert "fetch total:" in capsys.readouterr().out
+
+
 class TestQuery:
     def test_query_returns_matches(self, index_file, capsys) -> None:
         assert main(["query", index_file, "NP(DT)", "VP(VBZ)"]) == 0

@@ -96,6 +96,47 @@ def test_readme_sharded_session(workdir) -> None:
     assert '"shard_count": 4' in stats.stdout
 
 
+def test_readme_live_session(workdir) -> None:
+    """Step 6 of the README quickstart: the add -> query -> compact workflow."""
+    build = run_cli("build", "corpus.penn", "--live", "--out", "live.si", cwd=workdir)
+    assert build.returncode == 0, build.stderr
+    assert "built live root-split index" in build.stdout
+    assert "manifest: live.si.live.json" in build.stdout
+
+    generate = run_cli(
+        "generate", "--sentences", "50", "--seed", "1", "--out", "more.penn", cwd=workdir
+    )
+    assert generate.returncode == 0, generate.stderr
+
+    add = run_cli("add", "live.si.live.json", "more.penn", cwd=workdir)
+    assert add.returncode == 0, add.stderr
+    assert "added 50 trees (tids 300..349)" in add.stdout
+
+    query = run_cli("query", "live.si.live.json", "NP(DT)(NN)", cwd=workdir)
+    assert query.returncode == 0, query.stderr
+    assert "NP(DT)(NN):" in query.stdout
+
+    delete = run_cli("delete", "live.si.live.json", "3", cwd=workdir)
+    assert delete.returncode == 0, delete.stderr
+    assert "deleted 1 of 1" in delete.stdout
+
+    compact = run_cli("compact", "live.si.live.json", cwd=workdir)
+    assert compact.returncode == 0, compact.stderr
+    assert "compacted to epoch 1" in compact.stdout
+
+    stats = run_cli("stats", "live.si.live.json", cwd=workdir)
+    assert stats.returncode == 0, stats.stderr
+    assert "kind            : live (epoch 1)" in stats.stdout
+    assert "trees indexed   : 349" in stats.stdout  # 300 + 50 - 1
+
+    explain = run_cli(
+        "query", "live.si.live.json", "S(NP)(VP(VBZ))", "--explain", cwd=workdir
+    )
+    assert explain.returncode == 0, explain.stderr
+    assert "cover:" in explain.stdout
+    assert "join phase not executed" in explain.stdout
+
+
 def test_malformed_query_fails_cleanly(workdir) -> None:
     """A malformed query exits non-zero with a message, never a traceback."""
     result = run_cli("query", "corpus.si", "NP(((", cwd=workdir)
