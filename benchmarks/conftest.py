@@ -1,65 +1,58 @@
 """Shared fixtures for the benchmark harness.
 
-The benchmarks regenerate every table and figure of the paper at laptop
-scale.  A single :class:`~repro.bench.context.ExperimentContext` is shared by
-all benchmark files so corpora and indexes are built once; rendered result
-tables are written to ``benchmarks/results/`` so they can be pasted into
-EXPERIMENTS.md.
+Every ``benchmarks/test_*`` file is a thin wrapper over a registered
+:class:`~repro.bench.config.ExperimentConfig`: the session-scoped
+:class:`~repro.bench.runner.ExperimentRunner` resolves the config, runs it
+over one shared :class:`~repro.bench.context.ExperimentContext` (corpora and
+indexes are built once across files) and writes both the human-readable
+``<name>.txt`` table and the machine-readable ``BENCH_<name>.json`` document
+into ``benchmarks/results/`` -- the directory ``repro bench --gate`` diffs
+across commits.
 
-Scales can be raised with the ``REPRO_BENCH_SCALE`` environment variable
-(a float multiplier applied to corpus sizes; default 1.0).
+Corpus sizes live in the registry (``repro.bench.registry``); raise or
+shrink all of them with the ``REPRO_BENCH_SCALE`` environment variable
+(a float multiplier, default 1.0), which the runner picks up itself.
 """
 
 from __future__ import annotations
 
+import json
 import os
 from pathlib import Path
 
 import pytest
 
-from repro.bench.context import ExperimentContext
-from repro.bench.results import ExperimentResult
+from repro.bench.runner import ExperimentRunner, RunReport
+from repro.bench.schema import validate_document
 
 RESULTS_DIR = Path(__file__).parent / "results"
 
-#: Baseline corpus sizes; multiplied by REPRO_BENCH_SCALE.
-BASE_SIZES = {
-    "fig2_counts": (1, 10, 100, 1_000),
-    "fig3_sentences": 1_000,
-    "index_sizes": (100, 400, 1_200),
-    "query_corpus": 1_200,
-    "scalability": (300, 600, 1_200, 2_400),
-}
-
-
-def _scale() -> float:
-    return float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
-
-
-def scaled(value: int) -> int:
-    """Scale a corpus size by the REPRO_BENCH_SCALE multiplier."""
-    return max(1, int(value * _scale()))
-
-
-def scaled_tuple(values) -> tuple:
-    """Scale a tuple of corpus sizes."""
-    return tuple(scaled(value) for value in values)
-
 
 @pytest.fixture(scope="session")
-def context(tmp_path_factory) -> ExperimentContext:
-    """The shared experiment laboratory."""
+def runner(tmp_path_factory) -> ExperimentRunner:
+    """The shared experiment runner (one context, artefacts in results/)."""
     workdir = tmp_path_factory.mktemp("repro-bench")
-    with ExperimentContext(workdir=str(workdir), seed=17) as ctx:
-        yield ctx
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    with ExperimentRunner(workdir=str(workdir), out_dir=str(RESULTS_DIR), seed=17) as bench:
+        yield bench
 
 
 @pytest.fixture(scope="session")
-def results_dir() -> Path:
-    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
-    return RESULTS_DIR
+def context(runner):
+    """The runner's experiment laboratory, for tests needing raw corpora."""
+    return runner.context
 
 
-def save_result(results_dir: Path, result: ExperimentResult, filename: str) -> None:
-    """Write a rendered experiment table under benchmarks/results/."""
-    (results_dir / filename).write_text(result.to_text() + "\n", encoding="utf-8")
+def run_experiment(runner: ExperimentRunner, name: str, **overrides) -> RunReport:
+    """Run a registered experiment and check both artefacts landed.
+
+    The JSON document is re-read from disk and schema-validated so every
+    benchmark run doubles as a check that its ``BENCH_<name>.json`` is
+    well-formed for the regression gate.
+    """
+    report = runner.run(name, overrides=overrides or None)
+    assert report.text_path is not None and os.path.exists(report.text_path)
+    assert report.json_path is not None and os.path.exists(report.json_path)
+    with open(report.json_path, encoding="utf-8") as handle:
+        assert validate_document(json.load(handle)) == []
+    return report

@@ -1,6 +1,6 @@
 """Ablation: decomposition choices called out in DESIGN.md.
 
-Two design knobs of the subtree index are ablated here, both over the cached
+Two design knobs of the subtree index are ablated, both over the cached
 query corpus and the root-split index at mss = 3:
 
 * **padding (max-covers)** -- Section 5.2.1 argues for covers whose subtrees
@@ -10,75 +10,30 @@ query corpus and the root-split index at mss = 3:
   (implemented in :mod:`repro.query.optimizer`): pick among candidate covers
   using posting-list statistics instead of always taking the default cover.
 
-The assertions are deliberately loose (ablation results are informational),
-but the measured tables land in ``benchmarks/results/`` for EXPERIMENTS.md.
+The experiment itself raises if any policy changes query answers; the
+assertions here are deliberately loose (ablation results are informational),
+and the measured tables land in ``benchmarks/results/`` for EXPERIMENTS.md.
 """
 
 from __future__ import annotations
 
-import time
-
-from benchmarks.conftest import BASE_SIZES, save_result, scaled
-from repro.bench.results import ExperimentResult
-from repro.exec.executor import QueryExecutor
-from repro.query.optimizer import OptimizingExecutor
-from repro.workloads.binning import average
-
-MSS = 3
+from benchmarks.conftest import run_experiment
 
 
-def _workload(context, corpus_size):
-    queries = [item.query for item in context.wh_queries()]
-    queries.extend(item.query for item in context.fb_queries(corpus_size))
-    return queries
-
-
-def _run(executor, queries):
-    times = []
-    matches = {}
-    for query in queries:
-        started = time.perf_counter()
-        result = executor.execute(query)
-        times.append(time.perf_counter() - started)
-        matches[query.to_string()] = result.total_matches
-    return average(times), matches
-
-
-def test_ablation_padding_and_cover_selection(benchmark, context, results_dir) -> None:
-    corpus_size = scaled(BASE_SIZES["query_corpus"])
-    index = context.subtree_index(corpus_size, "root-split", MSS)
-    store = context.tree_store(corpus_size)
-    queries = _workload(context, corpus_size)
-
-    def run() -> ExperimentResult:
-        result = ExperimentResult(
-            name="Ablation: cover construction",
-            description=(
-                "Average query runtime of the root-split index (mss=3) under different "
-                "decomposition policies"
-            ),
-            columns=["policy", "avg_seconds", "total_matches"],
-        )
-        variants = {
-            "minRC + padding (default)": QueryExecutor(index, store=store, pad=True),
-            "minRC, no padding": QueryExecutor(index, store=store, pad=False),
-            "selectivity-optimised": OptimizingExecutor(index, store=store),
-        }
-        baseline_matches = None
-        for name, executor in variants.items():
-            avg_seconds, matches = _run(executor, queries)
-            if baseline_matches is None:
-                baseline_matches = matches
-            else:
-                # All policies must return identical answers.
-                assert matches == baseline_matches, f"policy {name} changed query results"
-            result.add_row(name, avg_seconds, sum(matches.values()))
-        return result
-
-    result = benchmark.pedantic(run, rounds=1, iterations=1)
-    save_result(results_dir, result, "ablation_cover_selection.txt")
+def test_ablation_padding_and_cover_selection(runner) -> None:
+    report = run_experiment(runner, "ablation_cover_selection")
+    result = report.result
 
     runtimes = {row[0]: row[1] for row in result.rows}
+    # All three decomposition policies were measured.
+    assert set(runtimes) == {
+        "minRC + padding (default)",
+        "minRC, no padding",
+        "selectivity-optimised",
+    }
+    # All policies must return identical answers (checked while measuring).
+    totals = {row[2] for row in result.rows}
+    assert len(totals) == 1, result.rows
     # The optimiser should never be dramatically worse than the default policy.
     assert runtimes["selectivity-optimised"] <= runtimes["minRC + padding (default)"] * 1.5
     # All variants complete in sane time at this scale.

@@ -2,80 +2,22 @@
 
 The subtree index bulk-loads its B+Tree from key-sorted posting lists
 (Section 6.1 builds the index once over a static corpus).  This ablation
-quantifies what that choice buys over naive per-key inserts, and checks that
-both strategies produce byte-identical lookup results.
+quantifies what that choice buys over naive per-key inserts; the experiment
+itself checks both strategies produce identical lookup results.
 """
 
 from __future__ import annotations
 
-import os
-import time
-
-from benchmarks.conftest import save_result, scaled
-from repro.bench.results import ExperimentResult
-from repro.coding import get_coding
-from repro.core.enumeration import enumerate_key_occurrences
-from repro.storage.bptree import BPlusTree
-
-SENTENCES = 300
-MSS = 3
+from benchmarks.conftest import run_experiment
 
 
-def _posting_items(context, corpus_size: int):
-    coding = get_coding("root-split")
-    posting_lists = {}
-    for tree in context.corpus(corpus_size):
-        per_key = {}
-        for key, occurrence in enumerate_key_occurrences(tree, MSS):
-            per_key.setdefault(key, []).append(occurrence)
-        for key, occurrences in per_key.items():
-            posting_lists.setdefault(key, []).extend(coding.postings_from_occurrences(occurrences))
-    return [(key, coding.encode_postings(posting_lists[key])) for key in sorted(posting_lists)]
-
-
-def test_ablation_bulk_load_vs_inserts(benchmark, context, results_dir, tmp_path_factory) -> None:
-    corpus_size = scaled(SENTENCES)
-    items = _posting_items(context, corpus_size)
-    directory = tmp_path_factory.mktemp("storage-ablation")
-
-    def run() -> ExperimentResult:
-        result = ExperimentResult(
-            name="Ablation: B+Tree loading strategy",
-            description="Building the index B+Tree by sorted bulk load vs one insert per key",
-            columns=["strategy", "seconds", "file_bytes", "height"],
-        )
-
-        bulk_path = str(directory / "bulk.bpt")
-        if os.path.exists(bulk_path):
-            os.remove(bulk_path)
-        started = time.perf_counter()
-        bulk = BPlusTree(bulk_path)
-        bulk.bulk_load(items)
-        bulk_seconds = time.perf_counter() - started
-        result.add_row("bulk load (sorted)", bulk_seconds, bulk.size_bytes(), bulk.height)
-
-        insert_path = str(directory / "insert.bpt")
-        if os.path.exists(insert_path):
-            os.remove(insert_path)
-        started = time.perf_counter()
-        inserted = BPlusTree(insert_path)
-        for key, value in items:
-            inserted.insert(key, value)
-        insert_seconds = time.perf_counter() - started
-        result.add_row("per-key inserts", insert_seconds, inserted.size_bytes(), inserted.height)
-
-        # Both trees must answer lookups identically.
-        for key, value in items[:: max(1, len(items) // 200)]:
-            assert bulk.get(key) == value == inserted.get(key)
-        bulk.close()
-        inserted.close()
-        return result
-
-    result = benchmark.pedantic(run, rounds=1, iterations=1)
-    save_result(results_dir, result, "ablation_storage.txt")
+def test_ablation_bulk_load_vs_inserts(runner) -> None:
+    report = run_experiment(runner, "ablation_storage")
+    result = report.result
 
     times = {row[0]: row[1] for row in result.rows}
     sizes = {row[0]: row[2] for row in result.rows}
+    assert set(times) == {"bulk load (sorted)", "per-key inserts"}
     # Bulk loading is faster and packs pages at least as tightly.
     assert times["bulk load (sorted)"] <= times["per-key inserts"]
     assert sizes["bulk load (sorted)"] <= sizes["per-key inserts"] * 1.05

@@ -2,19 +2,13 @@
 
 from __future__ import annotations
 
-from benchmarks.conftest import BASE_SIZES, save_result, scaled_tuple
-from repro.bench.experiments import figure10_build_time
+from benchmarks.conftest import run_experiment
 
 
-def test_figure10_build_time(benchmark, context, results_dir) -> None:
-    sizes = scaled_tuple(BASE_SIZES["index_sizes"])
-
-    result = benchmark.pedantic(
-        lambda: figure10_build_time(context, sentence_counts=sizes),
-        rounds=1,
-        iterations=1,
-    )
-    save_result(results_dir, result, "figure10_build_time.txt")
+def test_figure10_build_time(runner) -> None:
+    report = run_experiment(runner, "figure10_build_time")
+    result = report.result
+    sizes = tuple(report.params["sentence_counts"])
 
     def build_time(count: int, coding: str, mss: int) -> float:
         return result.filtered(sentences=count, coding=coding, mss=mss)[0][3]

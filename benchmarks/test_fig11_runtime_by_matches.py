@@ -2,22 +2,13 @@
 
 from __future__ import annotations
 
-from benchmarks.conftest import BASE_SIZES, save_result, scaled
-from repro.bench.experiments import figure11_runtime_by_matches
+from benchmarks.conftest import run_experiment
 from repro.workloads.binning import average
 
 
-def test_figure11_runtime_by_matches(benchmark, context, results_dir) -> None:
-    corpus_size = scaled(BASE_SIZES["query_corpus"])
-
-    result = benchmark.pedantic(
-        lambda: figure11_runtime_by_matches(
-            context, sentence_count=corpus_size, mss_values=(1, 2, 3)
-        ),
-        rounds=1,
-        iterations=1,
-    )
-    save_result(results_dir, result, "figure11_runtime_by_matches.txt")
+def test_figure11_runtime_by_matches(runner) -> None:
+    report = run_experiment(runner, "figure11_runtime_by_matches")
+    result = report.result
 
     def mean_runtime(coding: str, mss: int) -> float:
         rows = result.filtered(coding=coding, mss=mss)

@@ -2,22 +2,13 @@
 
 from __future__ import annotations
 
-from benchmarks.conftest import BASE_SIZES, save_result, scaled
-from repro.bench.experiments import figure12_runtime_by_query_size
+from benchmarks.conftest import run_experiment
 from repro.workloads.binning import average
 
 
-def test_figure12_runtime_by_query_size(benchmark, context, results_dir) -> None:
-    corpus_size = scaled(BASE_SIZES["query_corpus"])
-
-    result = benchmark.pedantic(
-        lambda: figure12_runtime_by_query_size(
-            context, sentence_count=corpus_size, mss_values=(1, 2, 3), min_matches=10
-        ),
-        rounds=1,
-        iterations=1,
-    )
-    save_result(results_dir, result, "figure12_runtime_by_size.txt")
+def test_figure12_runtime_by_query_size(runner) -> None:
+    report = run_experiment(runner, "figure12_runtime_by_size")
+    result = report.result
 
     # The workload contains small and larger queries with enough matches.
     sizes_present = sorted({row[2] for row in result.rows})

@@ -2,19 +2,13 @@
 
 from __future__ import annotations
 
-from benchmarks.conftest import BASE_SIZES, save_result, scaled_tuple
-from repro.bench.experiments import figure13_scalability
+from benchmarks.conftest import run_experiment
 
 
-def test_figure13_scalability(benchmark, context, results_dir) -> None:
-    sizes = scaled_tuple(BASE_SIZES["scalability"])
-
-    result = benchmark.pedantic(
-        lambda: figure13_scalability(context, sentence_counts=sizes),
-        rounds=1,
-        iterations=1,
-    )
-    save_result(results_dir, result, "figure13_scalability.txt")
+def test_figure13_scalability(runner) -> None:
+    report = run_experiment(runner, "figure13_scalability")
+    result = report.result
+    sizes = tuple(report.params["sentence_counts"])
 
     def runtime(count: int, coding: str) -> float:
         return result.filtered(sentences=count, coding=coding)[0][2]

@@ -2,19 +2,13 @@
 
 from __future__ import annotations
 
-from benchmarks.conftest import BASE_SIZES, save_result, scaled_tuple
-from repro.bench.experiments import figure2_index_keys
+from benchmarks.conftest import run_experiment
 
 
-def test_figure2_index_keys(benchmark, context, results_dir) -> None:
-    counts = scaled_tuple(BASE_SIZES["fig2_counts"])
-
-    result = benchmark.pedantic(
-        lambda: figure2_index_keys(context, sentence_counts=counts),
-        rounds=1,
-        iterations=1,
-    )
-    save_result(results_dir, result, "figure2_index_keys.txt")
+def test_figure2_index_keys(runner) -> None:
+    report = run_experiment(runner, "figure2_index_keys")
+    result = report.result
+    counts = tuple(report.params["sentence_counts"])
 
     # Paper shape 1: the number of keys grows monotonically with the corpus size.
     for mss in (1, 2, 3, 4, 5):

@@ -2,19 +2,12 @@
 
 from __future__ import annotations
 
-from benchmarks.conftest import BASE_SIZES, save_result, scaled
-from repro.bench.experiments import figure3_branching
+from benchmarks.conftest import run_experiment
 
 
-def test_figure3_branching(benchmark, context, results_dir) -> None:
-    sentences = scaled(BASE_SIZES["fig3_sentences"])
-
-    result = benchmark.pedantic(
-        lambda: figure3_branching(context, sentence_count=sentences),
-        rounds=1,
-        iterations=1,
-    )
-    save_result(results_dir, result, "figure3_branching.txt")
+def test_figure3_branching(runner) -> None:
+    report = run_experiment(runner, "figure3_branching")
+    result = report.result
 
     def avg(branching: int, size: int) -> float:
         rows = result.filtered(branching_factor=branching, subtree_size=size)

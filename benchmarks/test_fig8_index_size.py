@@ -2,19 +2,13 @@
 
 from __future__ import annotations
 
-from benchmarks.conftest import BASE_SIZES, save_result, scaled_tuple
-from repro.bench.experiments import figure8_index_size
+from benchmarks.conftest import run_experiment
 
 
-def test_figure8_index_size(benchmark, context, results_dir) -> None:
-    sizes = scaled_tuple(BASE_SIZES["index_sizes"])
-
-    result = benchmark.pedantic(
-        lambda: figure8_index_size(context, sentence_counts=sizes),
-        rounds=1,
-        iterations=1,
-    )
-    save_result(results_dir, result, "figure8_index_size.txt")
+def test_figure8_index_size(runner) -> None:
+    report = run_experiment(runner, "figure8_index_size")
+    result = report.result
+    sizes = tuple(report.params["sentence_counts"])
 
     def size_of(count: int, coding: str, mss: int) -> int:
         return result.filtered(sentences=count, coding=coding, mss=mss)[0][3]

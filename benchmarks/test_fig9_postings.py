@@ -2,19 +2,13 @@
 
 from __future__ import annotations
 
-from benchmarks.conftest import BASE_SIZES, save_result, scaled_tuple
-from repro.bench.experiments import figure9_posting_counts
+from benchmarks.conftest import run_experiment
 
 
-def test_figure9_posting_counts(benchmark, context, results_dir) -> None:
-    sizes = scaled_tuple(BASE_SIZES["index_sizes"])
-
-    result = benchmark.pedantic(
-        lambda: figure9_posting_counts(context, sentence_counts=sizes),
-        rounds=1,
-        iterations=1,
-    )
-    save_result(results_dir, result, "figure9_postings.txt")
+def test_figure9_posting_counts(runner) -> None:
+    report = run_experiment(runner, "figure9_postings")
+    result = report.result
+    sizes = tuple(report.params["sentence_counts"])
 
     def postings(count: int, coding: str, mss: int) -> int:
         return result.filtered(sentences=count, coding=coding, mss=mss)[0][3]

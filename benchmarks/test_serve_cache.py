@@ -2,29 +2,25 @@
 
 from __future__ import annotations
 
-from benchmarks.conftest import BASE_SIZES, save_result, scaled
-from repro.bench.experiments import serve_cold_warm
+from benchmarks.conftest import run_experiment
+from repro.bench.guard import timing_bars_enabled
 
 
-def test_serve_cold_vs_warm(benchmark, context, results_dir) -> None:
-    corpus_size = scaled(BASE_SIZES["query_corpus"])
-
-    result = benchmark.pedantic(
-        lambda: serve_cold_warm(context, sentence_count=corpus_size, mss=3),
-        rounds=1,
-        iterations=1,
-    )
-    save_result(results_dir, result, "serve_cold_warm.txt")
+def test_serve_cold_vs_warm(runner) -> None:
+    report = run_experiment(runner, "serve_cold_warm")
+    result = report.result
 
     for row in result.as_dicts():
         # Warm passes skip parse + decomposition + B+Tree descents + posting
         # decoding, so they should beat the cold pass on every coding.  The
         # margin is ~1.15-1.2x on a quiet machine and the measurement is a
-        # single round, so allow 10% scheduling noise rather than flaking.
-        assert row["warm_ms_per_query"] < row["cold_ms_per_query"] * 1.10, row
+        # single round, so the bar goes through the shared CI/low-core guard
+        # (with 10% scheduling-noise slack) rather than flaking.
+        if timing_bars_enabled():
+            assert row["warm_ms_per_query"] < row["cold_ms_per_query"] * 1.10, row
         # Hot passes answer identical repeats from the result cache without
         # re-running joins; that layer dominates by orders of magnitude, so
-        # these bounds stay strict.
+        # these bounds stay strict on any machine.
         assert row["hot_ms_per_query"] < row["warm_ms_per_query"], row
         assert row["hot_speedup"] > 5.0, row
         # With caches larger than the workload's key set, the warm passes are

@@ -2,19 +2,13 @@
 
 from __future__ import annotations
 
-from benchmarks.conftest import BASE_SIZES, save_result, scaled_tuple
-from repro.bench.experiments import figure8_index_size, table1_size_ratio
+from benchmarks.conftest import run_experiment
 
 
-def test_table1_size_ratio(benchmark, context, results_dir) -> None:
-    sizes = scaled_tuple(BASE_SIZES["index_sizes"])
-
-    def run():
-        figure8 = figure8_index_size(context, sentence_counts=sizes)
-        return table1_size_ratio(figure8)
-
-    result = benchmark.pedantic(run, rounds=1, iterations=1)
-    save_result(results_dir, result, "table1_size_ratio.txt")
+def test_table1_size_ratio(runner) -> None:
+    report = run_experiment(runner, "table1_size_ratio")
+    result = report.result
+    sizes = tuple(report.params["sentence_counts"])
 
     def ratio(count: int, coding: str) -> float:
         return result.filtered(sentences=count, coding=coding)[0][2]

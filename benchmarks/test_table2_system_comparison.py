@@ -2,28 +2,14 @@
 
 from __future__ import annotations
 
-import os
-
-from benchmarks.conftest import BASE_SIZES, save_result, scaled
-from repro.bench.experiments import table2_system_comparison
+from benchmarks.conftest import run_experiment
+from repro.bench.guard import timing_bars_enabled
 from repro.workloads.binning import average
 
-#: Minimum cores for the timing-ratio bars: on a 1-CPU box any concurrent
-#: load (the rest of the suite, the host) lands on the measured core.
-CORES_FOR_BARS = 2
 
-
-def test_table2_system_comparison(benchmark, context, results_dir) -> None:
-    # Use the largest scalability corpus: the Table 2 gap is driven by
-    # validation costs that grow with the corpus size.
-    corpus_size = scaled(BASE_SIZES["scalability"][-1])
-
-    result = benchmark.pedantic(
-        lambda: table2_system_comparison(context, sentence_count=corpus_size),
-        rounds=1,
-        iterations=1,
-    )
-    save_result(results_dir, result, "table2_system_comparison.txt")
+def test_table2_system_comparison(runner) -> None:
+    report = run_experiment(runner, "table2_system_comparison")
+    result = report.result
 
     def avg_for(system: str) -> float:
         return average([row[2] for row in result.rows if row[1] == system])
@@ -38,11 +24,11 @@ def test_table2_system_comparison(benchmark, context, results_dir) -> None:
         assert measured == classes, f"{system} missing classes {classes - measured}"
     assert all(row[2] >= 0 for row in result.rows)
 
-    # The timing-ratio bars are hardware-sensitive: shared CI runners
-    # (GitHub sets CI=true) and 1-CPU boxes are too noisy/throttled to gate
-    # a wall-clock ordering on (mirrors the shard_scalability guard).  The
-    # measured factors are still recorded in benchmarks/results/.
-    if os.environ.get("CI") or (os.cpu_count() or 1) < CORES_FOR_BARS:
+    # The timing-ratio bars are hardware-sensitive: shared CI runners and
+    # 1-CPU boxes are too noisy/throttled to gate a wall-clock ordering on
+    # (the shared guard in repro.bench.guard).  The measured factors are
+    # still recorded in benchmarks/results/ either way.
+    if not timing_bars_enabled():
         return
 
     rs = avg_for("RS")

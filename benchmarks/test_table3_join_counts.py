@@ -2,14 +2,13 @@
 
 from __future__ import annotations
 
-from benchmarks.conftest import save_result
-from repro.bench.experiments import table3_join_counts
+from benchmarks.conftest import run_experiment
 from repro.workloads.wh import WH_GROUPS
 
 
-def test_table3_join_counts(benchmark, results_dir) -> None:
-    result = benchmark.pedantic(table3_join_counts, rounds=1, iterations=1)
-    save_result(results_dir, result, "table3_join_counts.txt")
+def test_table3_join_counts(runner) -> None:
+    report = run_experiment(runner, "table3_join_counts")
+    result = report.result
 
     def joins(group: str, mss: int) -> tuple[float, float]:
         row = result.filtered(group=group, mss=mss)[0]

@@ -9,28 +9,19 @@ wall-clock on a shared 1-CPU runner is noise.
 
 from __future__ import annotations
 
-from benchmarks.conftest import save_result, scaled
+from benchmarks.conftest import run_experiment
 from repro.core.index import SubtreeIndex
 from repro.corpus.generator import CorpusGenerator
 from repro.corpus.store import Corpus
 from repro.exec.executor import QueryExecutor
-from repro.bench.experiments import update_throughput
-
-BASE_SENTENCES = 600
 
 
-def test_update_throughput(benchmark, context, results_dir) -> None:
-    corpus_size = scaled(BASE_SENTENCES)
-    fractions = (0.0, 0.10, 0.50)
+def test_update_throughput(runner, context) -> None:
+    report = run_experiment(runner, "update_throughput")
+    result = report.result
+    corpus_size = report.params["sentence_count"]
+    fractions = tuple(report.params["delta_fractions"])
 
-    result = benchmark.pedantic(
-        lambda: update_throughput(
-            context, sentence_count=corpus_size, delta_fractions=fractions
-        ),
-        rounds=1,
-        iterations=1,
-    )
-    save_result(results_dir, result, "update_throughput.txt")
     rows = {row["delta_fraction"]: row for row in result.as_dicts()}
     assert set(rows) == set(fractions)
 

@@ -1,21 +1,34 @@
 """Experiment harness regenerating the paper's tables and figures.
 
 * :mod:`repro.bench.results` -- the generic tabular result container with a
-  plain-text renderer shared by all experiments.
+  plain-text renderer and a JSON round-trip shared by all experiments.
 * :mod:`repro.bench.context` -- a small laboratory object that builds and
   caches corpora, data files and indexes inside a working directory so the
   individual experiments do not repeat expensive setup.
-* :mod:`repro.bench.experiments` -- one runner per table/figure of the
-  paper's Section 6 (Figures 2, 3, 8--13 and Tables 1--3), each returning an
+* :mod:`repro.bench.experiments` -- one runner function per table/figure of
+  the paper's Section 6 (Figures 2, 3, 8--13 and Tables 1--3) plus the
+  serving/sharding/live-index experiments, each returning an
   :class:`~repro.bench.results.ExperimentResult`.
+* :mod:`repro.bench.config` / :mod:`repro.bench.registry` -- declarative
+  experiment configs (corpus sizes, seed, gated metrics) and the central
+  registry every benchmark resolves through.
+* :mod:`repro.bench.runner` -- the :class:`ExperimentRunner` owning
+  build/measure/report: warmup, environment capture, text tables and
+  schema-validated ``BENCH_<experiment>.json`` documents.
+* :mod:`repro.bench.gate` -- the regression gate diffing two runs'
+  ``BENCH_*.json`` with tolerance bands (``repro bench --gate``).
+* :mod:`repro.bench.schema` -- the versioned document schema and the
+  stdlib validator.
 
-Every runner accepts explicit scale parameters; the defaults are sized for a
-laptop-scale reproduction (the paper's largest runs use up to one million
-sentences -- see EXPERIMENTS.md for the scaling notes).
+See ``docs/benchmarks.md`` for the config format, the JSON schema and how
+to read a perf trajectory across commits.
 """
 
+from repro.bench.config import ExperimentConfig
 from repro.bench.context import ExperimentContext
 from repro.bench.experiments import (
+    ablation_cover_selection,
+    ablation_storage,
     figure2_index_keys,
     figure3_branching,
     figure8_index_size,
@@ -25,15 +38,38 @@ from repro.bench.experiments import (
     figure12_runtime_by_query_size,
     figure13_scalability,
     serve_cold_warm,
+    shard_scalability,
     table1_size_ratio,
     table2_system_comparison,
     table3_join_counts,
+    update_throughput,
 )
+from repro.bench.gate import GateOptions, GateReport, compare, compare_directories
+from repro.bench.guard import timing_bars_enabled
+from repro.bench.registry import all_configs, experiment_names, get_config, register
 from repro.bench.results import ExperimentResult
+from repro.bench.runner import ExperimentRunner, RunReport
+from repro.bench.schema import SCHEMA_VERSION, SchemaError, require_valid, validate_document
 
 __all__ = [
+    "ExperimentConfig",
     "ExperimentContext",
     "ExperimentResult",
+    "ExperimentRunner",
+    "RunReport",
+    "GateOptions",
+    "GateReport",
+    "compare",
+    "compare_directories",
+    "SCHEMA_VERSION",
+    "SchemaError",
+    "require_valid",
+    "validate_document",
+    "register",
+    "get_config",
+    "all_configs",
+    "experiment_names",
+    "timing_bars_enabled",
     "figure2_index_keys",
     "figure3_branching",
     "figure8_index_size",
@@ -46,4 +82,8 @@ __all__ = [
     "figure13_scalability",
     "table3_join_counts",
     "serve_cold_warm",
+    "shard_scalability",
+    "update_throughput",
+    "ablation_cover_selection",
+    "ablation_storage",
 ]

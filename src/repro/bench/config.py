@@ -1,0 +1,110 @@
+"""Declarative experiment configurations.
+
+An experiment is fully described by an :class:`ExperimentConfig`: which
+runner function produces its table, with which parameters, at which seed,
+and how its columns should be interpreted downstream (row identity, gated
+metrics, timing-volatile cells).  Configs are immutable values -- deriving
+a scaled or overridden variant returns a new config -- so a registry entry
+can never be mutated by one caller behind another's back.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, Mapping, Tuple
+
+from repro.bench.schema import METRIC_DIRECTIONS
+
+#: Parameter names holding corpus sizes; ``scaled()`` multiplies these.
+SCALABLE_PARAMS = ("sentence_count", "sentence_counts")
+
+
+def _freeze(value: object) -> object:
+    """Recursively turn lists/tuples into tuples so params stay hashable-ish."""
+    if isinstance(value, (list, tuple)):
+        return tuple(_freeze(item) for item in value)
+    return value
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """One registered experiment: runner + parameters + column semantics."""
+
+    #: Registry name; also the stem of ``BENCH_<name>.json`` / ``<name>.txt``.
+    name: str
+    #: Human title, e.g. ``"Figure 8"``.
+    title: str
+    #: One-line description of what the experiment measures.
+    description: str
+    #: Name of the runner function in :data:`repro.bench.registry.RUNNERS`.
+    runner: str
+    #: Keyword arguments passed to the runner (after scaling).
+    params: Mapping[str, object] = field(default_factory=dict)
+    #: Seed of the experiment context (corpora are functions of (seed, size)).
+    seed: int = 17
+    #: Columns that together identify a row across runs (the gate's join key).
+    key_columns: Tuple[str, ...] = ()
+    #: Gated metric columns -> direction: "lower" / "higher" is better,
+    #: "exact" must not change at all (correctness invariants).
+    metrics: Mapping[str, str] = field(default_factory=dict)
+    #: Columns holding wall-clock measurements; masked by determinism checks
+    #: and held to the noise tolerance (instead of equality) by the gate.
+    timing_columns: Tuple[str, ...] = ()
+    #: Discarded runs of the whole experiment before the measured one.
+    warmup: int = 0
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "params", dict(self.params))
+        object.__setattr__(self, "metrics", dict(self.metrics))
+        for column, direction in self.metrics.items():
+            if direction not in METRIC_DIRECTIONS:
+                raise ValueError(
+                    f"config {self.name!r}: metric {column!r} has direction {direction!r}, "
+                    f"expected one of {METRIC_DIRECTIONS}"
+                )
+        if self.warmup < 0:
+            raise ValueError(f"config {self.name!r}: warmup must be >= 0")
+
+    # ------------------------------------------------------------------
+    def with_params(self, **overrides: object) -> "ExperimentConfig":
+        """A copy with the given parameters replaced/added."""
+        params = dict(self.params)
+        params.update(overrides)
+        return replace(self, params=params)
+
+    def scaled(self, factor: float) -> "ExperimentConfig":
+        """A copy whose corpus-size parameters are multiplied by *factor*.
+
+        Only the well-known size parameters (:data:`SCALABLE_PARAMS`) are
+        touched; every scaled size is clamped to at least one sentence.
+        """
+        if factor == 1.0:
+            return self
+        if factor <= 0:
+            raise ValueError(f"scale factor must be positive, got {factor}")
+        params = dict(self.params)
+        for key in SCALABLE_PARAMS:
+            if key not in params:
+                continue
+            value = params[key]
+            if isinstance(value, (list, tuple)):
+                params[key] = tuple(max(1, int(item * factor)) for item in value)
+            else:
+                params[key] = max(1, int(value * factor))  # type: ignore[operator]
+        return replace(self, params=params)
+
+    # ------------------------------------------------------------------
+    def as_dict(self, scale: float = 1.0) -> Dict[str, object]:
+        """The JSON form embedded in a bench document."""
+        return {
+            "name": self.name,
+            "title": self.title,
+            "description": self.description,
+            "runner": self.runner,
+            "seed": self.seed,
+            "scale": float(scale),
+            "params": {key: _freeze(value) for key, value in self.params.items()},
+            "key_columns": list(self.key_columns),
+            "metrics": dict(self.metrics),
+            "timing_columns": list(self.timing_columns),
+        }

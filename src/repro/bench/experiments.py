@@ -16,15 +16,19 @@ from typing import Dict, Iterable, List, Sequence, Tuple
 
 from repro.bench.context import ExperimentContext
 from repro.bench.results import ExperimentResult
-from repro.core.enumeration import subtree_count_by_root_branching
+from repro.coding import get_coding
+from repro.core.enumeration import enumerate_key_occurrences, subtree_count_by_root_branching
 from repro.core.stats import count_postings, count_unique_keys
 from repro.corpus.generator import CorpusGenerator
+from repro.exec.executor import QueryExecutor
 from repro.live import LiveIndex
 from repro.query.decompose import min_rc, optimal_cover
 from repro.query.model import QueryTree
+from repro.query.optimizer import OptimizingExecutor
 from repro.service.live import LiveQueryService
 from repro.service.service import QueryService
 from repro.service.sharded import ShardedQueryService
+from repro.storage.bptree import BPlusTree
 from repro.workloads.binning import MATCH_BINS, average, bin_for_match_count, group_by_query_size
 from repro.workloads.wh import WH_GROUPS, wh_queries_by_group
 
@@ -120,6 +124,17 @@ def table1_size_ratio(figure8: ExperimentResult) -> ExperimentResult:
             result.add_row(count, coding, large[0][3] / small[0][3])
     result.add_note("paper: root-split shows the smallest growth ratio (12-15x), subtree interval the largest (~50x)")
     return result
+
+
+def table1_from_context(
+    context: ExperimentContext,
+    sentence_counts: Sequence[int] = (100, 1_000, 5_000),
+    mss_values: Sequence[int] = (1, 2, 3, 4, 5),
+) -> ExperimentResult:
+    """Table 1 as a standalone runner: measures Figure 8 and derives the ratios."""
+    return table1_size_ratio(
+        figure8_index_size(context, sentence_counts=sentence_counts, mss_values=mss_values)
+    )
 
 
 def figure9_posting_counts(
@@ -635,4 +650,112 @@ def serve_cold_warm(
         "warm reuses cached plans and decoded postings (joins still run); "
         "hot answers identical repeats from the result cache"
     )
+    return result
+
+
+# ----------------------------------------------------------------------
+# Ablations: decomposition policy and B+Tree loading strategy
+# ----------------------------------------------------------------------
+def ablation_cover_selection(
+    context: ExperimentContext,
+    sentence_count: int = 1_200,
+    mss: int = 3,
+) -> ExperimentResult:
+    """Query runtime of the root-split index under different decomposition policies.
+
+    Ablates the two cover-construction knobs called out in DESIGN.md --
+    padding towards ``mss`` (Section 5.2.1's max-covers) and the
+    selectivity-aware cover selection of :mod:`repro.query.optimizer` --
+    over the combined WH + FB workload.  All policies must return identical
+    answers; the experiment raises if one changes any query's matches.
+    """
+    result = ExperimentResult(
+        name="Ablation: cover construction",
+        description=(
+            "Average query runtime of the root-split index (mss="
+            f"{mss}) under different decomposition policies"
+        ),
+        columns=["policy", "avg_seconds", "total_matches"],
+    )
+    index = context.subtree_index(sentence_count, "root-split", mss)
+    store = context.tree_store(sentence_count)
+    queries = _workload_queries(context, sentence_count)
+    variants = [
+        ("minRC + padding (default)", QueryExecutor(index, store=store, pad=True)),
+        ("minRC, no padding", QueryExecutor(index, store=store, pad=False)),
+        ("selectivity-optimised", OptimizingExecutor(index, store=store)),
+    ]
+    baseline_matches: Dict[str, int] = {}
+    for policy, executor in variants:
+        times: List[float] = []
+        matches: Dict[str, int] = {}
+        for query in queries:
+            started = time.perf_counter()
+            outcome = executor.execute(query)
+            times.append(time.perf_counter() - started)
+            matches[query.to_string()] = outcome.total_matches
+        if not baseline_matches:
+            baseline_matches = matches
+        elif matches != baseline_matches:
+            raise AssertionError(f"policy {policy!r} changed query results")
+        result.add_row(policy, average(times), sum(matches.values()))
+    result.add_note("all policies must return identical answers (checked while measuring)")
+    return result
+
+
+def ablation_storage(
+    context: ExperimentContext,
+    sentence_count: int = 300,
+    mss: int = 3,
+    coding: str = "root-split",
+) -> ExperimentResult:
+    """Building the index B+Tree by sorted bulk load vs one insert per key.
+
+    The subtree index bulk-loads its B+Tree from key-sorted posting lists
+    (the paper builds once over a static corpus); this quantifies what that
+    buys over naive per-key inserts and checks both strategies answer
+    lookups identically.
+    """
+    result = ExperimentResult(
+        name="Ablation: B+Tree loading strategy",
+        description="Building the index B+Tree by sorted bulk load vs one insert per key",
+        columns=["strategy", "seconds", "file_bytes", "height"],
+    )
+    scheme = get_coding(coding)
+    posting_lists: Dict[str, List[object]] = {}
+    for tree in context.corpus(sentence_count):
+        per_key: Dict[str, List[object]] = {}
+        for key, occurrence in enumerate_key_occurrences(tree, mss):
+            per_key.setdefault(key, []).append(occurrence)
+        for key, occurrences in per_key.items():
+            posting_lists.setdefault(key, []).extend(scheme.postings_from_occurrences(occurrences))
+    items = [(key, scheme.encode_postings(posting_lists[key])) for key in sorted(posting_lists)]
+
+    strategies = ("bulk load (sorted)", "per-key inserts")
+    trees: List[BPlusTree] = []
+    try:
+        for strategy in strategies:
+            stem = "bulk" if strategy.startswith("bulk") else "insert"
+            path = os.path.join(context.workdir, f"ablation-{sentence_count}-{mss}-{stem}.bpt")
+            if os.path.exists(path):
+                os.remove(path)
+            started = time.perf_counter()
+            tree = BPlusTree(path)
+            if stem == "bulk":
+                tree.bulk_load(items)
+            else:
+                for key, value in items:
+                    tree.insert(key, value)
+            seconds = time.perf_counter() - started
+            trees.append(tree)
+            result.add_row(strategy, seconds, tree.size_bytes(), tree.height)
+
+        # Both trees must answer lookups identically (sampled).
+        bulk, inserted = trees
+        for key, value in items[:: max(1, len(items) // 200)]:
+            assert bulk.get(key) == value == inserted.get(key)
+    finally:
+        for tree in trees:
+            tree.close()
+    result.add_note("both strategies must answer sampled lookups identically (checked)")
     return result

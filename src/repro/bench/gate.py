@@ -1,0 +1,371 @@
+"""The regression gate: diff two bench-JSON runs and classify every metric.
+
+``compare(baseline, current)`` takes two documents of the same experiment
+and classifies each gated metric (declared in the config's ``metrics``
+block) as **improved**, **neutral** or **regressed**:
+
+* ``exact`` metrics (correctness invariants such as match totals) must be
+  identical row for row -- any difference is a regression;
+* ``lower`` / ``higher`` metrics are compared by the geometric mean of the
+  per-row current/baseline ratios (oriented so > 1 is always worse), with a
+  configurable tolerance band.  Aggregating across rows keeps one noisy
+  tiny measurement from flipping the verdict.
+
+A wider tolerance is applied automatically when either run was produced
+under CI (shared runners are too noisy for tight wall-clock bands); the
+``CI`` environment variable at gate time triggers the same guard.
+
+``compare_directories`` lifts this to two result directories full of
+``BENCH_*.json`` files and is what ``repro bench --gate`` calls; the gate
+exits non-zero when any experiment regressed.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.bench.schema import SCHEMA_VERSION, validate_document
+
+#: Verdict statuses, from best to worst.
+STATUS_IMPROVED = "improved"
+STATUS_NEUTRAL = "neutral"
+STATUS_NEW = "new"
+STATUS_REGRESSED = "regressed"
+STATUS_MISSING = "missing"
+
+#: Statuses that fail the gate.
+FAILING_STATUSES = (STATUS_REGRESSED, STATUS_MISSING)
+
+
+class GateError(ValueError):
+    """The gate cannot run at all (unreadable directory, invalid documents)."""
+
+
+@dataclass(frozen=True)
+class GateOptions:
+    """Tolerance bands of the gate.
+
+    *tolerance* is the relative band around a ratio of 1.0: a metric is
+    regressed when its (worse-is-bigger) ratio exceeds ``1 + tolerance``
+    and improved when it drops below ``1 / (1 + tolerance)`` -- symmetric
+    in log space.  *ci_tolerance* replaces it when either compared run (or
+    the gate process itself) is under CI.
+    """
+
+    tolerance: float = 0.35
+    ci_tolerance: float = 0.60
+
+    def __post_init__(self) -> None:
+        if self.tolerance < 0 or self.ci_tolerance < 0:
+            raise ValueError("tolerances must be non-negative")
+
+    def effective_tolerance(self, ci: bool) -> float:
+        return self.ci_tolerance if ci else self.tolerance
+
+
+@dataclass
+class MetricVerdict:
+    """The classification of one gated metric of one experiment."""
+
+    experiment: str
+    metric: str
+    direction: str
+    status: str = STATUS_NEUTRAL
+    #: Geometric-mean current/baseline ratio oriented so > 1 is worse
+    #: (None for exact metrics and structural statuses).
+    ratio: Optional[float] = None
+    rows_compared: int = 0
+    detail: str = ""
+
+
+@dataclass
+class ExperimentComparison:
+    """All verdicts plus structural problems of one experiment's diff."""
+
+    experiment: str
+    verdicts: List[MetricVerdict] = field(default_factory=list)
+    #: Structural issues that fail the gate regardless of metric verdicts
+    #: (missing rows, incomparable documents).
+    problems: List[str] = field(default_factory=list)
+
+    @property
+    def failures(self) -> List[str]:
+        failures = [
+            f"{verdict.metric}: {verdict.status}"
+            + (f" (ratio {verdict.ratio:.2f})" if verdict.ratio is not None else "")
+            + (f" -- {verdict.detail}" if verdict.detail else "")
+            for verdict in self.verdicts
+            if verdict.status in FAILING_STATUSES
+        ]
+        return failures + list(self.problems)
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+
+@dataclass
+class GateReport:
+    """The outcome of gating one result directory against a baseline."""
+
+    comparisons: List[ExperimentComparison] = field(default_factory=list)
+    #: Experiments present only in the current run (allowed; informational).
+    new_experiments: List[str] = field(default_factory=list)
+    #: Experiments present only in the baseline (a regression: results lost).
+    missing_experiments: List[str] = field(default_factory=list)
+    tolerance: float = 0.0
+    ci_guard: bool = False
+
+    @property
+    def ok(self) -> bool:
+        return not self.missing_experiments and all(c.ok for c in self.comparisons)
+
+    def to_text(self) -> str:
+        lines = [
+            f"regression gate: tolerance ±{self.tolerance:.0%}"
+            + (" (CI noise guard active)" if self.ci_guard else "")
+        ]
+        for comparison in self.comparisons:
+            lines.append(f"  {comparison.experiment}:")
+            for verdict in comparison.verdicts:
+                ratio = f" ratio={verdict.ratio:.3f}" if verdict.ratio is not None else ""
+                detail = f" ({verdict.detail})" if verdict.detail else ""
+                lines.append(
+                    f"    {verdict.metric:<24s} {verdict.status:<10s}"
+                    f"{ratio}{detail} [{verdict.direction}, {verdict.rows_compared} rows]"
+                )
+            for problem in comparison.problems:
+                lines.append(f"    problem: {problem}")
+        for name in self.new_experiments:
+            lines.append(f"  {name}: new experiment (no baseline; not gated)")
+        for name in self.missing_experiments:
+            lines.append(f"  {name}: MISSING from the current run (present in baseline)")
+        lines.append("gate: " + ("OK" if self.ok else "REGRESSED"))
+        return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# Document-level comparison
+# ----------------------------------------------------------------------
+def _rows_by_key(
+    document: dict, key_columns: Sequence[str]
+) -> Dict[Tuple[object, ...], List[dict]]:
+    result = document["result"]
+    columns = result["columns"]
+    grouped: Dict[Tuple[object, ...], List[dict]] = {}
+    for row in result["rows"]:
+        cells = dict(zip(columns, row))
+        key = tuple(cells.get(column) for column in key_columns)
+        grouped.setdefault(key, []).append(cells)
+    return grouped
+
+
+def _is_ci(baseline: dict, current: dict) -> bool:
+    return bool(
+        os.environ.get("CI")
+        or baseline.get("environment", {}).get("ci")
+        or current.get("environment", {}).get("ci")
+    )
+
+
+def _classify_ratio(ratio: float, tolerance: float) -> str:
+    if ratio > 1.0 + tolerance:
+        return STATUS_REGRESSED
+    if ratio < 1.0 / (1.0 + tolerance):
+        return STATUS_IMPROVED
+    return STATUS_NEUTRAL
+
+
+def compare(
+    baseline: dict,
+    current: dict,
+    options: Optional[GateOptions] = None,
+) -> ExperimentComparison:
+    """Diff two bench documents of the same experiment.
+
+    The *current* document's config decides row identity and which metrics
+    are gated (the code under test is authoritative); metrics that exist
+    only in the baseline config are reported as ``missing``.
+    """
+    options = options or GateOptions()
+    name = current.get("experiment", baseline.get("experiment", "?"))
+    comparison = ExperimentComparison(experiment=name)
+
+    for label, document in (("baseline", baseline), ("current", current)):
+        errors = validate_document(document)
+        if errors:
+            comparison.problems.append(f"{label} document is invalid: {errors[0]}")
+    if comparison.problems:
+        return comparison
+    if baseline["experiment"] != current["experiment"]:
+        comparison.problems.append(
+            f"experiment mismatch: baseline {baseline['experiment']!r} "
+            f"vs current {current['experiment']!r}"
+        )
+        return comparison
+    if baseline["schema_version"] != SCHEMA_VERSION:
+        comparison.problems.append(
+            f"baseline schema_version {baseline['schema_version']} != {SCHEMA_VERSION}"
+        )
+        return comparison
+
+    config = current["config"]
+    key_columns = list(config.get("key_columns", []))
+    metrics: Dict[str, str] = dict(config.get("metrics", {}))
+    tolerance = options.effective_tolerance(_is_ci(baseline, current))
+
+    baseline_rows = _rows_by_key(baseline, key_columns)
+    current_rows = _rows_by_key(current, key_columns)
+
+    missing_keys = sorted(set(baseline_rows) - set(current_rows), key=repr)
+    if missing_keys:
+        comparison.problems.append(
+            f"{len(missing_keys)} row(s) missing from the current run, "
+            f"e.g. {key_columns}={missing_keys[0]!r}"
+        )
+    shared_keys = [key for key in baseline_rows if key in current_rows]
+
+    baseline_metrics = set(baseline["config"].get("metrics", {}))
+    for metric in sorted(baseline_metrics - set(metrics)):
+        comparison.verdicts.append(MetricVerdict(
+            experiment=name,
+            metric=metric,
+            direction=baseline["config"]["metrics"][metric],
+            status=STATUS_MISSING,
+            detail="metric gated in the baseline but absent from the current config",
+        ))
+
+    baseline_columns = set(baseline["result"]["columns"])
+    for metric, direction in metrics.items():
+        if metric not in baseline_columns:
+            comparison.verdicts.append(MetricVerdict(
+                experiment=name,
+                metric=metric,
+                direction=direction,
+                status=STATUS_NEW,
+                detail="no baseline column; not gated",
+            ))
+            continue
+        comparison.verdicts.append(
+            _compare_metric(name, metric, direction, shared_keys,
+                            baseline_rows, current_rows, tolerance)
+        )
+    return comparison
+
+
+def _compare_metric(
+    experiment: str,
+    metric: str,
+    direction: str,
+    shared_keys: Sequence[Tuple[object, ...]],
+    baseline_rows: Dict[Tuple[object, ...], List[dict]],
+    current_rows: Dict[Tuple[object, ...], List[dict]],
+    tolerance: float,
+) -> MetricVerdict:
+    verdict = MetricVerdict(experiment=experiment, metric=metric, direction=direction)
+    pairs: List[Tuple[object, object, Tuple[object, ...]]] = []
+    for key in shared_keys:
+        for before, after in zip(baseline_rows[key], current_rows[key]):
+            if metric in before and metric in after:
+                pairs.append((before[metric], after[metric], key))
+    verdict.rows_compared = len(pairs)
+    if not pairs:
+        verdict.status = STATUS_MISSING
+        verdict.detail = "no comparable rows carry this metric"
+        return verdict
+
+    if direction == "exact":
+        mismatches = [(key, before, after) for before, after, key in pairs if before != after]
+        if mismatches:
+            key, before, after = mismatches[0]
+            verdict.status = STATUS_REGRESSED
+            verdict.detail = (
+                f"{len(mismatches)} row(s) changed, e.g. key={key!r}: {before!r} -> {after!r}"
+            )
+        else:
+            verdict.status = STATUS_NEUTRAL
+        return verdict
+
+    log_ratios: List[float] = []
+    skipped = 0
+    for before, after, _ in pairs:
+        try:
+            before_value = float(before)  # type: ignore[arg-type]
+            after_value = float(after)  # type: ignore[arg-type]
+        except (TypeError, ValueError):
+            skipped += 1
+            continue
+        if before_value <= 0 or after_value <= 0:
+            skipped += 1
+            continue
+        ratio = after_value / before_value
+        if direction == "higher":
+            ratio = 1.0 / ratio
+        log_ratios.append(math.log(ratio))
+    if not log_ratios:
+        verdict.status = STATUS_NEUTRAL
+        verdict.detail = "no positive numeric pairs to compare"
+        return verdict
+    verdict.ratio = math.exp(sum(log_ratios) / len(log_ratios))
+    verdict.status = _classify_ratio(verdict.ratio, tolerance)
+    if skipped:
+        verdict.detail = f"{skipped} row(s) skipped (non-positive or non-numeric)"
+    return verdict
+
+
+# ----------------------------------------------------------------------
+# Directory-level comparison (what `repro bench --gate` runs)
+# ----------------------------------------------------------------------
+def load_documents(directory: str) -> Dict[str, dict]:
+    """All ``BENCH_*.json`` documents in *directory*, keyed by experiment."""
+    if not os.path.isdir(directory):
+        raise GateError(f"not a directory: {directory!r}")
+    documents: Dict[str, dict] = {}
+    for entry in sorted(os.listdir(directory)):
+        if not (entry.startswith("BENCH_") and entry.endswith(".json")):
+            continue
+        path = os.path.join(directory, entry)
+        try:
+            with open(path, encoding="utf-8") as handle:
+                document = json.load(handle)
+        except (OSError, json.JSONDecodeError) as error:
+            raise GateError(f"cannot read {path!r}: {error}") from error
+        name = document.get("experiment") if isinstance(document, dict) else None
+        if not isinstance(name, str):
+            raise GateError(f"{path!r} is not a bench document (no experiment name)")
+        documents[name] = document
+    return documents
+
+
+def compare_directories(
+    baseline_dir: str,
+    current_dir: str,
+    options: Optional[GateOptions] = None,
+) -> GateReport:
+    """Gate every experiment in *current_dir* against *baseline_dir*."""
+    options = options or GateOptions()
+    baseline_documents = load_documents(baseline_dir)
+    current_documents = load_documents(current_dir)
+    if not baseline_documents:
+        raise GateError(f"no BENCH_*.json documents in baseline {baseline_dir!r}")
+
+    ci_guard = bool(os.environ.get("CI")) or any(
+        document.get("environment", {}).get("ci")
+        for documents in (baseline_documents, current_documents)
+        for document in documents.values()
+    )
+    report = GateReport(
+        tolerance=options.effective_tolerance(ci_guard),
+        ci_guard=ci_guard,
+        new_experiments=sorted(set(current_documents) - set(baseline_documents)),
+        missing_experiments=sorted(set(baseline_documents) - set(current_documents)),
+    )
+    for name in sorted(set(baseline_documents) & set(current_documents)):
+        report.comparisons.append(
+            compare(baseline_documents[name], current_documents[name], options)
+        )
+    return report

@@ -68,6 +68,35 @@ class ExperimentResult:
         return [dict(zip(self.columns, row)) for row in self.rows]
 
     # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, object]:
+        """The JSON-serialisable form (the ``result`` block of a bench document)."""
+        return {
+            "name": self.name,
+            "description": self.description,
+            "columns": list(self.columns),
+            "rows": [list(row) for row in self.rows],
+            "notes": list(self.notes),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "ExperimentResult":
+        """Rebuild a result from :meth:`to_dict` output (e.g. a reloaded JSON file).
+
+        Round-trip guarantee: ``from_dict(to_dict())`` agrees with the
+        original on columns, rows, notes, ``as_dicts()`` and ``to_text()``.
+        """
+        result = cls(
+            name=str(data["name"]),
+            description=str(data["description"]),
+            columns=list(data["columns"]),  # type: ignore[arg-type]
+        )
+        for row in data.get("rows", []):  # type: ignore[union-attr]
+            result.add_row(*row)
+        for note in data.get("notes", []):  # type: ignore[union-attr]
+            result.add_note(str(note))
+        return result
+
+    # ------------------------------------------------------------------
     def to_text(self) -> str:
         """Render the result as a fixed-width text table."""
         header = [self.columns]

@@ -1,6 +1,6 @@
 """Command-line interface for the subtree index.
 
-Seven subcommands cover the everyday workflow:
+Eight subcommands cover the everyday workflow:
 
 ``generate``
     sample a synthetic treebank and write it as bracketed Penn lines;
@@ -18,7 +18,11 @@ Seven subcommands cover the everyday workflow:
 ``stats``
     print metadata and key statistics of a built index (``--json`` for a
     machine-readable dump, including per-shard / per-segment breakdowns and
-    the live index's delta/WAL sizes).
+    the live index's delta/WAL sizes);
+``bench``
+    list and run the registered experiments (text table + machine-readable
+    ``BENCH_<experiment>.json`` per run) and gate a result directory
+    against a baseline run (``--gate``; exits 1 on regression).
 
 Example session::
 
@@ -35,6 +39,9 @@ Example session::
     python -m repro.cli delete corpus.si.live.json 17 42
     python -m repro.cli compact corpus.si.live.json
     python -m repro.cli stats corpus.si --json
+    python -m repro.cli bench list
+    python -m repro.cli bench run figure8_index_size --out results/ --scale 0.5
+    python -m repro.cli bench --gate baseline/ --current results/
 """
 
 from __future__ import annotations
@@ -484,6 +491,133 @@ def cmd_stats(args: argparse.Namespace) -> int:
 
 
 # ----------------------------------------------------------------------
+# Experiment orchestration (bench list / run / gate)
+# ----------------------------------------------------------------------
+def _bench_list(args: argparse.Namespace) -> int:
+    from repro.bench.registry import all_configs
+
+    configs = all_configs()
+    if args.json:
+        print(json.dumps([config.as_dict() for config in configs], indent=2))
+        return 0
+    width = max(len(config.name) for config in configs)
+    for config in configs:
+        print(f"{config.name:<{width}s}  {config.title:<16s} {config.description}")
+    print(f"{len(configs)} experiments registered")
+    return 0
+
+
+def _bench_run(args: argparse.Namespace) -> int:
+    from repro.bench.registry import UnknownExperimentError, experiment_names
+    from repro.bench.runner import ExperimentRunner
+
+    names = args.names or experiment_names()
+    runner = ExperimentRunner(
+        workdir=args.workdir, out_dir=args.out, seed=args.seed, scale=args.scale
+    )
+    documents = []
+    try:
+        for name in names:
+            try:
+                report = runner.run(name)
+            except UnknownExperimentError as error:
+                print(f"error: {error.args[0]}", file=sys.stderr)
+                return 2
+            documents.append(report.document)
+            if args.json:
+                continue
+            print(
+                f"{report.config.name}: {len(report.result.rows)} rows in "
+                f"{report.wall_seconds:.2f}s -> {report.json_path}"
+            )
+    finally:
+        runner.close()
+    if args.json:
+        print(json.dumps(documents if len(documents) != 1 else documents[0], indent=2))
+    return 0
+
+
+def _bench_gate(args: argparse.Namespace, baseline_dir: str, current_dir: str) -> int:
+    from repro.bench.gate import GateError, GateOptions, compare_directories
+
+    options = GateOptions()
+    if args.tolerance is not None:
+        try:
+            options = GateOptions(
+                tolerance=args.tolerance,
+                ci_tolerance=max(args.tolerance, options.ci_tolerance),
+            )
+        except ValueError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+    try:
+        report = compare_directories(baseline_dir, current_dir, options)
+    except GateError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps(
+            {
+                "ok": report.ok,
+                "tolerance": report.tolerance,
+                "ci_guard": report.ci_guard,
+                "new_experiments": report.new_experiments,
+                "missing_experiments": report.missing_experiments,
+                "experiments": [
+                    {
+                        "experiment": comparison.experiment,
+                        "ok": comparison.ok,
+                        "failures": comparison.failures,
+                        "verdicts": [
+                            {
+                                "metric": verdict.metric,
+                                "direction": verdict.direction,
+                                "status": verdict.status,
+                                "ratio": verdict.ratio,
+                                "rows_compared": verdict.rows_compared,
+                                "detail": verdict.detail,
+                            }
+                            for verdict in comparison.verdicts
+                        ],
+                    }
+                    for comparison in report.comparisons
+                ],
+            },
+            indent=2,
+        ))
+    else:
+        print(report.to_text())
+    return 0 if report.ok else 1
+
+
+def cmd_bench(args: argparse.Namespace) -> int:
+    """Dispatch `bench list` / `bench run` / `bench gate` (or `--gate DIR`)."""
+    if args.gate_dir is not None:
+        if args.action not in (None, "gate") or args.names:
+            print("error: --gate cannot be combined with an action", file=sys.stderr)
+            return 2
+        return _bench_gate(args, args.gate_dir, args.current)
+    if args.action == "list":
+        if args.names:
+            print("error: 'bench list' takes no experiment names", file=sys.stderr)
+            return 2
+        return _bench_list(args)
+    if args.action == "run":
+        return _bench_run(args)
+    if args.action == "gate":
+        if not args.names:
+            print("error: 'bench gate' needs a baseline directory", file=sys.stderr)
+            return 2
+        if len(args.names) > 2:
+            print("error: 'bench gate' takes BASELINE [CURRENT]", file=sys.stderr)
+            return 2
+        current = args.names[1] if len(args.names) == 2 else args.current
+        return _bench_gate(args, args.names[0], current)
+    print("error: pass an action (list, run, gate) or --gate BASELINE_DIR", file=sys.stderr)
+    return 2
+
+
+# ----------------------------------------------------------------------
 # Argument parsing
 # ----------------------------------------------------------------------
 def build_parser() -> argparse.ArgumentParser:
@@ -563,6 +697,48 @@ def build_parser() -> argparse.ArgumentParser:
     )
     compact.add_argument("index", help="live-index manifest built with 'build --live'")
     compact.set_defaults(func=cmd_compact)
+
+    bench = subparsers.add_parser(
+        "bench", help="run registered experiments and gate results against a baseline"
+    )
+    bench.add_argument(
+        "action", nargs="?", choices=("list", "run", "gate"),
+        help="list experiments, run some/all, or gate a run against a baseline",
+    )
+    bench.add_argument(
+        "names", nargs="*",
+        help="experiment names for 'run' (default: all); BASELINE [CURRENT] for 'gate'",
+    )
+    bench.add_argument(
+        "--gate", dest="gate_dir", metavar="BASELINE_DIR", default=None,
+        help="shorthand for 'bench gate BASELINE_DIR' (exits 1 on regression)",
+    )
+    bench.add_argument(
+        "--out", default="benchmarks/results",
+        help="directory for <name>.txt and BENCH_<name>.json artefacts (run mode)",
+    )
+    bench.add_argument(
+        "--current", default="benchmarks/results",
+        help="current result directory to gate (gate mode; default: benchmarks/results)",
+    )
+    bench.add_argument(
+        "--workdir", default=None,
+        help="directory for corpora/indexes built while running (default: a temp dir)",
+    )
+    bench.add_argument(
+        "--scale", type=float, default=None,
+        help="corpus-size multiplier (default: REPRO_BENCH_SCALE or 1.0)",
+    )
+    bench.add_argument("--seed", type=int, default=17, help="experiment-context seed")
+    bench.add_argument(
+        "--tolerance", type=float, default=None,
+        help="gate tolerance band around a ratio of 1.0 (default 0.35; CI guard 0.60)",
+    )
+    bench.add_argument(
+        "--json", action="store_true",
+        help="emit machine-readable JSON instead of human-readable output",
+    )
+    bench.set_defaults(func=cmd_bench)
 
     stats = subparsers.add_parser("stats", help="print statistics of a built index")
     stats.add_argument("index", help="index file or sharded-index manifest")

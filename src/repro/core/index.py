@@ -25,6 +25,14 @@ from repro.trees.node import Node, ParseTree
 #: Reserved B+Tree key that stores the index metadata record.
 _META_KEY = b"\x00__si_meta__"
 
+#: Fixed byte length of the serialised metadata record.  The record is
+#: written twice -- during the bulk load with ``build_seconds=0.0`` and
+#: again with the measured time -- and the B+Tree replaces an equal-length
+#: payload in place.  Without padding the second write could overflow the
+#: tightly packed leaf and split a page, making the index *file size*
+#: depend on how many digits the build time happened to have.
+_META_RECORD_LENGTH = 256
+
 
 @dataclass
 class IndexMetadata:
@@ -38,13 +46,23 @@ class IndexMetadata:
     build_seconds: float
 
     def to_json(self) -> bytes:
-        """Serialise the metadata record for storage."""
-        return json.dumps(asdict(self)).encode("utf-8")
+        """Serialise the metadata record, padded to a fixed length."""
+        record = asdict(self)
+        record["build_seconds"] = round(self.build_seconds, 6)
+        encoded = json.dumps(record).encode("utf-8")
+        # len(', "pad": ""') == 11: the padding field's own JSON overhead.
+        padding = _META_RECORD_LENGTH - len(encoded) - 11
+        if padding >= 0:
+            record["pad"] = " " * padding
+            encoded = json.dumps(record).encode("utf-8")
+        return encoded
 
     @classmethod
     def from_json(cls, data: bytes) -> "IndexMetadata":
         """Parse a metadata record written by :meth:`to_json`."""
-        return cls(**json.loads(data.decode("utf-8")))
+        record = json.loads(data.decode("utf-8"))
+        record.pop("pad", None)
+        return cls(**record)
 
 
 class SubtreeIndex:

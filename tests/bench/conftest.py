@@ -1,0 +1,59 @@
+"""Shared helpers for the bench-harness unit tests."""
+
+from __future__ import annotations
+
+import copy
+from typing import Dict
+
+
+#: A minimal valid bench document (schema version 1) the tests mutate.
+_TEMPLATE: Dict[str, object] = {
+    "schema_version": 1,
+    "kind": "repro-bench-result",
+    "experiment": "demo",
+    "config": {
+        "name": "demo",
+        "title": "Demo",
+        "description": "a demo experiment",
+        "runner": "demo_runner",
+        "seed": 17,
+        "scale": 1.0,
+        "params": {"n": 3},
+        "key_columns": ["size"],
+        "metrics": {"value": "lower", "count": "exact"},
+        "timing_columns": ["value"],
+    },
+    "environment": {
+        "python": "3.11.7",
+        "implementation": "CPython",
+        "platform": "linux",
+        "cpu_count": 4,
+        "ci": False,
+        "git_sha": None,
+        "generated_at": "2026-01-01T00:00:00+00:00",
+    },
+    "measurement": {"wall_seconds": 0.5, "warmup_runs": 0, "measured_runs": 1},
+    "result": {
+        "name": "Demo",
+        "description": "a demo experiment",
+        "columns": ["size", "value", "count"],
+        "rows": [[100, 1.0, 5], [200, 2.0, 9]],
+        "notes": [],
+    },
+}
+
+
+def make_document(**overrides: object) -> dict:
+    """A fresh valid bench document; keyword overrides replace top-level blocks."""
+    document = copy.deepcopy(_TEMPLATE)
+    document.update(overrides)
+    return document
+
+
+def scale_metric(document: dict, column: str, factor: float) -> dict:
+    """Multiply every cell of *column* in-place (simulates a perf change)."""
+    columns = document["result"]["columns"]
+    position = columns.index(column)
+    for row in document["result"]["rows"]:
+        row[position] = row[position] * factor
+    return document

@@ -1,0 +1,126 @@
+"""Unit tests of the experiment configs and the central registry."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.config import SCALABLE_PARAMS, ExperimentConfig
+from repro.bench.registry import (
+    RUNNERS,
+    UnknownExperimentError,
+    _REGISTRY,
+    all_configs,
+    experiment_names,
+    get_config,
+    register,
+)
+
+
+def demo_config(**overrides) -> ExperimentConfig:
+    fields = dict(
+        name="demo",
+        title="Demo",
+        description="a demo",
+        runner="figure2_index_keys",
+        params={"sentence_counts": (100, 400)},
+        key_columns=("sentences", "mss"),
+        metrics={"unique_subtrees": "exact"},
+    )
+    fields.update(overrides)
+    return ExperimentConfig(**fields)
+
+
+class TestExperimentConfig:
+    def test_bad_metric_direction_rejected(self) -> None:
+        with pytest.raises(ValueError, match="direction"):
+            demo_config(metrics={"unique_subtrees": "sideways"})
+
+    def test_negative_warmup_rejected(self) -> None:
+        with pytest.raises(ValueError, match="warmup"):
+            demo_config(warmup=-1)
+
+    def test_with_params_returns_new_config(self) -> None:
+        config = demo_config()
+        derived = config.with_params(sentence_counts=(5,), extra=True)
+        assert derived.params == {"sentence_counts": (5,), "extra": True}
+        assert config.params == {"sentence_counts": (100, 400)}  # unchanged
+
+    def test_scaled_multiplies_size_params(self) -> None:
+        config = demo_config(params={"sentence_count": 1_000, "mss": 3})
+        scaled = config.scaled(0.5)
+        assert scaled.params == {"sentence_count": 500, "mss": 3}
+
+    def test_scaled_handles_tuples_and_clamps_to_one(self) -> None:
+        config = demo_config(params={"sentence_counts": (1, 10, 100)})
+        scaled = config.scaled(0.01)
+        assert scaled.params["sentence_counts"] == (1, 1, 1)
+
+    def test_scale_one_is_identity(self) -> None:
+        config = demo_config()
+        assert config.scaled(1.0) is config
+
+    def test_non_positive_scale_rejected(self) -> None:
+        with pytest.raises(ValueError):
+            demo_config().scaled(0.0)
+        with pytest.raises(ValueError):
+            demo_config().scaled(-2.0)
+
+    def test_as_dict_shape(self) -> None:
+        payload = demo_config().as_dict(scale=0.5)
+        assert payload["name"] == "demo"
+        assert payload["scale"] == 0.5
+        assert payload["params"] == {"sentence_counts": (100, 400)}
+        assert payload["key_columns"] == ["sentences", "mss"]
+        assert payload["metrics"] == {"unique_subtrees": "exact"}
+
+
+class TestRegistry:
+    def test_all_builtin_experiments_registered(self) -> None:
+        names = experiment_names()
+        assert len(names) == len(set(names))
+        for expected in (
+            "figure2_index_keys",
+            "figure8_index_size",
+            "table1_size_ratio",
+            "figure13_scalability",
+            "table2_system_comparison",
+            "table3_join_counts",
+            "serve_cold_warm",
+            "shard_scalability",
+            "update_throughput",
+            "ablation_cover_selection",
+            "ablation_storage",
+        ):
+            assert expected in names
+
+    def test_every_config_names_a_known_runner(self) -> None:
+        for config in all_configs():
+            assert config.runner in RUNNERS, config.name
+
+    def test_get_config_unknown_name(self) -> None:
+        with pytest.raises(UnknownExperimentError, match="no_such_experiment"):
+            get_config("no_such_experiment")
+
+    def test_register_duplicate_rejected_unless_replace(self) -> None:
+        config = demo_config(name="registry_test_dup")
+        try:
+            register(config)
+            with pytest.raises(ValueError, match="already registered"):
+                register(config)
+            replaced = register(config.with_params(sentence_counts=(9,)), replace=True)
+            assert get_config("registry_test_dup") is replaced
+        finally:
+            _REGISTRY.pop("registry_test_dup", None)
+
+    def test_register_unknown_runner_rejected(self) -> None:
+        with pytest.raises(ValueError, match="unknown runner"):
+            register(demo_config(name="registry_test_bad", runner="nope"))
+        assert "registry_test_bad" not in experiment_names()
+
+    def test_scalable_params_cover_registry_sizes(self) -> None:
+        # Every corpus-size parameter used by a registered config must be
+        # scalable, or REPRO_BENCH_SCALE would silently miss it.
+        for config in all_configs():
+            for key in config.params:
+                if key.startswith("sentence"):
+                    assert key in SCALABLE_PARAMS, (config.name, key)

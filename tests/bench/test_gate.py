@@ -1,0 +1,253 @@
+"""Unit tests of the regression gate (tolerance bands, structure, CI guard)."""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.bench.gate import (
+    FAILING_STATUSES,
+    STATUS_IMPROVED,
+    STATUS_MISSING,
+    STATUS_NEW,
+    STATUS_NEUTRAL,
+    STATUS_REGRESSED,
+    GateError,
+    GateOptions,
+    compare,
+    compare_directories,
+    load_documents,
+)
+from tests.bench.conftest import make_document, scale_metric
+
+
+def verdict_for(comparison, metric: str):
+    matching = [v for v in comparison.verdicts if v.metric == metric]
+    assert matching, f"no verdict for {metric}: {comparison.verdicts}"
+    return matching[0]
+
+
+class TestGateOptions:
+    def test_defaults(self) -> None:
+        options = GateOptions()
+        assert options.effective_tolerance(ci=False) == options.tolerance
+        assert options.effective_tolerance(ci=True) == options.ci_tolerance
+        assert options.ci_tolerance >= options.tolerance
+
+    def test_negative_tolerance_rejected(self) -> None:
+        with pytest.raises(ValueError):
+            GateOptions(tolerance=-0.1)
+        with pytest.raises(ValueError):
+            GateOptions(ci_tolerance=-1.0)
+
+
+class TestCompareClassification:
+    def test_identical_documents_are_neutral(self) -> None:
+        comparison = compare(make_document(), make_document())
+        assert comparison.ok
+        assert {v.status for v in comparison.verdicts} == {STATUS_NEUTRAL}
+        assert verdict_for(comparison, "value").ratio == pytest.approx(1.0)
+
+    def test_lower_metric_doubling_regresses(self) -> None:
+        current = scale_metric(make_document(), "value", 2.0)
+        comparison = compare(make_document(), current)
+        verdict = verdict_for(comparison, "value")
+        assert verdict.status == STATUS_REGRESSED
+        assert verdict.ratio == pytest.approx(2.0)
+        assert not comparison.ok
+        assert any("value" in failure for failure in comparison.failures)
+
+    def test_lower_metric_halving_improves(self) -> None:
+        current = scale_metric(make_document(), "value", 0.5)
+        comparison = compare(make_document(), current)
+        assert verdict_for(comparison, "value").status == STATUS_IMPROVED
+        assert comparison.ok  # improvements never fail the gate
+
+    def test_tolerance_boundaries(self) -> None:
+        options = GateOptions(tolerance=0.35, ci_tolerance=0.35)
+        # Just inside the band: neutral.  Just outside: regressed/improved.
+        for factor, expected in (
+            (1.34, STATUS_NEUTRAL),
+            (1.36, STATUS_REGRESSED),
+            (1 / 1.34, STATUS_NEUTRAL),
+            (1 / 1.36, STATUS_IMPROVED),
+        ):
+            current = scale_metric(make_document(), "value", factor)
+            verdict = verdict_for(compare(make_document(), current, options), "value")
+            assert verdict.status == expected, (factor, verdict)
+
+    def test_higher_direction_inverts_orientation(self) -> None:
+        baseline = make_document()
+        baseline["config"]["metrics"]["value"] = "higher"
+        current = scale_metric(make_document(), "value", 0.4)
+        current["config"]["metrics"]["value"] = "higher"
+        verdict = verdict_for(compare(baseline, current), "value")
+        # Dropping a higher-is-better metric is a regression, ratio > 1.
+        assert verdict.status == STATUS_REGRESSED
+        assert verdict.ratio == pytest.approx(2.5)
+
+    def test_exact_metric_any_change_regresses(self) -> None:
+        current = make_document()
+        current["result"]["rows"][1][2] = 10  # count 9 -> 10
+        verdict = verdict_for(compare(make_document(), current), "count")
+        assert verdict.status == STATUS_REGRESSED
+        assert "9" in verdict.detail and "10" in verdict.detail
+
+    def test_exact_metric_ignores_tolerance(self) -> None:
+        current = make_document()
+        current["result"]["rows"][0][2] = 6
+        options = GateOptions(tolerance=10.0, ci_tolerance=10.0)
+        verdict = verdict_for(compare(make_document(), current, options), "count")
+        assert verdict.status == STATUS_REGRESSED
+
+
+class TestCompareStructure:
+    def test_missing_rows_fail_the_gate(self) -> None:
+        current = make_document()
+        del current["result"]["rows"][1]
+        comparison = compare(make_document(), current)
+        assert not comparison.ok
+        assert any("missing" in problem for problem in comparison.problems)
+
+    def test_extra_current_rows_are_allowed(self) -> None:
+        current = make_document()
+        current["result"]["rows"].append([300, 3.0, 12])
+        assert compare(make_document(), current).ok
+
+    def test_metric_dropped_from_current_config_is_missing(self) -> None:
+        current = make_document()
+        del current["config"]["metrics"]["count"]
+        comparison = compare(make_document(), current)
+        verdict = verdict_for(comparison, "count")
+        assert verdict.status == STATUS_MISSING
+        assert verdict.status in FAILING_STATUSES
+        assert not comparison.ok
+
+    def test_metric_without_baseline_column_is_new(self) -> None:
+        baseline = make_document()
+        baseline["config"]["metrics"] = {"value": "lower"}
+        baseline["config"]["key_columns"] = ["size"]
+        baseline["result"]["columns"] = ["size", "value"]
+        baseline["result"]["rows"] = [[100, 1.0], [200, 2.0]]
+        comparison = compare(baseline, make_document())
+        verdict = verdict_for(comparison, "count")
+        assert verdict.status == STATUS_NEW
+        assert comparison.ok  # new metrics are informational
+
+    def test_mismatched_experiments_are_a_problem(self) -> None:
+        other = make_document(experiment="other")
+        other["config"]["name"] = "other"
+        comparison = compare(make_document(), other)
+        assert not comparison.ok
+        assert any("mismatch" in problem for problem in comparison.problems)
+
+    def test_invalid_document_is_a_problem(self) -> None:
+        broken = make_document()
+        del broken["result"]
+        comparison = compare(broken, make_document())
+        assert not comparison.ok
+        assert any("invalid" in problem for problem in comparison.problems)
+
+
+class TestCiNoiseGuard:
+    def test_ci_environment_flag_widens_tolerance(self) -> None:
+        baseline = make_document()
+        baseline["environment"]["ci"] = True
+        # 1.5x would regress at the default 0.35 band but not at the CI 0.60 band.
+        current = scale_metric(make_document(), "value", 1.5)
+        verdict = verdict_for(compare(baseline, current), "value")
+        assert verdict.status == STATUS_NEUTRAL
+        # The same diff without the CI flag regresses.
+        verdict = verdict_for(
+            compare(make_document(), scale_metric(make_document(), "value", 1.5)), "value"
+        )
+        assert verdict.status == STATUS_REGRESSED
+
+    def test_ci_env_var_at_gate_time_widens_tolerance(self, monkeypatch) -> None:
+        monkeypatch.setenv("CI", "true")
+        current = scale_metric(make_document(), "value", 1.5)
+        verdict = verdict_for(compare(make_document(), current), "value")
+        assert verdict.status == STATUS_NEUTRAL
+
+    def test_no_ci_flag_uses_tight_band(self, monkeypatch) -> None:
+        monkeypatch.delenv("CI", raising=False)
+        current = scale_metric(make_document(), "value", 1.5)
+        verdict = verdict_for(compare(make_document(), current), "value")
+        assert verdict.status == STATUS_REGRESSED
+
+
+def _write_documents(directory, documents) -> None:
+    os.makedirs(directory, exist_ok=True)
+    for document in documents:
+        path = os.path.join(directory, f"BENCH_{document['experiment']}.json")
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(document, handle)
+
+
+class TestCompareDirectories:
+    def test_identical_directories_pass(self, tmp_path, monkeypatch) -> None:
+        monkeypatch.delenv("CI", raising=False)
+        _write_documents(tmp_path / "a", [make_document()])
+        _write_documents(tmp_path / "b", [make_document()])
+        report = compare_directories(str(tmp_path / "a"), str(tmp_path / "b"))
+        assert report.ok
+        assert "gate: OK" in report.to_text()
+
+    def test_regressed_directory_fails(self, tmp_path, monkeypatch) -> None:
+        monkeypatch.delenv("CI", raising=False)
+        _write_documents(tmp_path / "a", [make_document()])
+        _write_documents(tmp_path / "b", [scale_metric(make_document(), "value", 2.0)])
+        report = compare_directories(str(tmp_path / "a"), str(tmp_path / "b"))
+        assert not report.ok
+        assert "REGRESSED" in report.to_text()
+
+    def test_experiment_missing_from_current_fails(self, tmp_path, monkeypatch) -> None:
+        monkeypatch.delenv("CI", raising=False)
+        other = make_document(experiment="other")
+        other["config"]["name"] = "other"
+        _write_documents(tmp_path / "a", [make_document(), other])
+        _write_documents(tmp_path / "b", [make_document()])
+        report = compare_directories(str(tmp_path / "a"), str(tmp_path / "b"))
+        assert report.missing_experiments == ["other"]
+        assert not report.ok
+        assert "MISSING" in report.to_text()
+
+    def test_new_experiment_in_current_is_allowed(self, tmp_path, monkeypatch) -> None:
+        monkeypatch.delenv("CI", raising=False)
+        other = make_document(experiment="other")
+        other["config"]["name"] = "other"
+        _write_documents(tmp_path / "a", [make_document()])
+        _write_documents(tmp_path / "b", [make_document(), other])
+        report = compare_directories(str(tmp_path / "a"), str(tmp_path / "b"))
+        assert report.new_experiments == ["other"]
+        assert report.ok
+
+    def test_empty_baseline_is_a_gate_error(self, tmp_path) -> None:
+        (tmp_path / "a").mkdir()
+        _write_documents(tmp_path / "b", [make_document()])
+        with pytest.raises(GateError):
+            compare_directories(str(tmp_path / "a"), str(tmp_path / "b"))
+
+    def test_missing_directory_is_a_gate_error(self, tmp_path) -> None:
+        with pytest.raises(GateError):
+            compare_directories(str(tmp_path / "nope"), str(tmp_path / "nope"))
+
+    def test_unreadable_json_is_a_gate_error(self, tmp_path) -> None:
+        (tmp_path / "a").mkdir()
+        (tmp_path / "a" / "BENCH_bad.json").write_text("{not json", encoding="utf-8")
+        with pytest.raises(GateError):
+            load_documents(str(tmp_path / "a"))
+
+    def test_non_bench_json_is_a_gate_error(self, tmp_path) -> None:
+        (tmp_path / "a").mkdir()
+        (tmp_path / "a" / "BENCH_odd.json").write_text("{\"x\": 1}", encoding="utf-8")
+        with pytest.raises(GateError):
+            load_documents(str(tmp_path / "a"))
+
+    def test_non_bench_filenames_are_ignored(self, tmp_path) -> None:
+        _write_documents(tmp_path / "a", [make_document()])
+        (tmp_path / "a" / "notes.json").write_text("[]", encoding="utf-8")
+        (tmp_path / "a" / "demo.txt").write_text("table", encoding="utf-8")
+        assert list(load_documents(str(tmp_path / "a"))) == ["demo"]

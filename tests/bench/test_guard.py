@@ -1,0 +1,57 @@
+"""Unit tests of the shared CI / low-core timing guard -- and that the
+benchmarks actually route their timing bars through it."""
+
+from __future__ import annotations
+
+import importlib
+import os
+
+from repro.bench import guard
+from repro.bench.guard import DEFAULT_MIN_CORES, timing_bars_enabled
+
+
+class TestTimingBarsEnabled:
+    def test_disabled_under_ci(self, monkeypatch) -> None:
+        monkeypatch.setenv("CI", "true")
+        monkeypatch.setattr(os, "cpu_count", lambda: 16)
+        assert not timing_bars_enabled()
+
+    def test_empty_ci_variable_does_not_trigger(self, monkeypatch) -> None:
+        monkeypatch.setenv("CI", "")
+        monkeypatch.setattr(os, "cpu_count", lambda: 16)
+        assert timing_bars_enabled()
+
+    def test_disabled_on_single_core_boxes(self, monkeypatch) -> None:
+        monkeypatch.delenv("CI", raising=False)
+        monkeypatch.setattr(os, "cpu_count", lambda: 1)
+        assert not timing_bars_enabled()
+
+    def test_enabled_on_quiet_multicore_boxes(self, monkeypatch) -> None:
+        monkeypatch.delenv("CI", raising=False)
+        monkeypatch.setattr(os, "cpu_count", lambda: DEFAULT_MIN_CORES)
+        assert timing_bars_enabled()
+
+    def test_min_cores_parameter_raises_the_floor(self, monkeypatch) -> None:
+        monkeypatch.delenv("CI", raising=False)
+        monkeypatch.setattr(os, "cpu_count", lambda: 2)
+        assert timing_bars_enabled(min_cores=2)
+        assert not timing_bars_enabled(min_cores=4)
+
+    def test_unknown_cpu_count_counts_as_one(self, monkeypatch) -> None:
+        monkeypatch.delenv("CI", raising=False)
+        monkeypatch.setattr(os, "cpu_count", lambda: None)
+        assert not timing_bars_enabled()
+
+
+class TestGuardIsHonoured:
+    """Regression test: the flake-prone benchmarks must use the *shared*
+    guard rather than re-implementing (and drifting from) the CI check."""
+
+    def test_timing_sensitive_benchmarks_import_the_shared_guard(self) -> None:
+        for module_name in (
+            "benchmarks.test_table2_system_comparison",
+            "benchmarks.test_shard_scalability",
+            "benchmarks.test_serve_cache",
+        ):
+            module = importlib.import_module(module_name)
+            assert module.timing_bars_enabled is guard.timing_bars_enabled, module_name

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import json
+
 import pytest
 
 from repro.bench.results import ExperimentResult, geometric_spread
@@ -61,6 +63,49 @@ class TestExperimentResult:
         assert "1,234,567" in text
         assert "0.00012" in text
         assert "12.346" in text
+
+
+class TestRoundTrip:
+    def test_to_dict_shape(self, result: ExperimentResult) -> None:
+        result.add_note("a note")
+        payload = result.to_dict()
+        assert payload == {
+            "name": "Figure X",
+            "description": "a demo table",
+            "columns": ["size", "coding", "value"],
+            "rows": [[100, "filter", 1.5], [100, "root-split", 2.5], [200, "filter", 3.0]],
+            "notes": ["a note"],
+        }
+
+    def test_to_dict_copies_rows(self, result: ExperimentResult) -> None:
+        payload = result.to_dict()
+        payload["rows"][0][0] = 999
+        assert result.rows[0][0] == 100
+
+    def test_from_dict_round_trip(self, result: ExperimentResult) -> None:
+        result.add_note("a note")
+        rebuilt = ExperimentResult.from_dict(result.to_dict())
+        assert rebuilt.columns == result.columns
+        assert rebuilt.rows == result.rows
+        assert rebuilt.notes == result.notes
+        assert rebuilt.as_dicts() == result.as_dicts()
+        assert rebuilt.to_text() == result.to_text()
+
+    def test_round_trip_through_json_text(self, result: ExperimentResult) -> None:
+        rebuilt = ExperimentResult.from_dict(json.loads(json.dumps(result.to_dict())))
+        assert rebuilt.to_text() == result.to_text()
+        assert rebuilt.filtered(size=100, coding="filter") == [[100, "filter", 1.5]]
+
+    def test_from_dict_checks_arity(self) -> None:
+        payload = {
+            "name": "F",
+            "description": "d",
+            "columns": ["a", "b"],
+            "rows": [[1, 2, 3]],
+            "notes": [],
+        }
+        with pytest.raises(ValueError):
+            ExperimentResult.from_dict(payload)
 
 
 class TestGeometricSpread:

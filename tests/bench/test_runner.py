@@ -1,0 +1,137 @@
+"""Unit tests of the ExperimentRunner (artefacts, env capture, warmup, scale)."""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+
+import pytest
+
+from repro.bench.config import ExperimentConfig
+from repro.bench.registry import RUNNERS
+from repro.bench.results import ExperimentResult
+from repro.bench.runner import (
+    SCALE_ENV_VAR,
+    ExperimentRunner,
+    capture_environment,
+    json_filename,
+)
+from repro.bench.schema import validate_document
+
+CALLS: list = []
+
+
+def _counting_runner(context, **params) -> ExperimentResult:
+    CALLS.append(dict(params))
+    result = ExperimentResult(
+        name="Counting",
+        description="records how often it ran",
+        columns=["run", "value"],
+    )
+    result.add_row(len(CALLS), float(params.get("value", 1.0)))
+    return result
+
+
+@pytest.fixture()
+def counting_config():
+    RUNNERS["_counting"] = _counting_runner
+    CALLS.clear()
+    try:
+        yield ExperimentConfig(
+            name="counting",
+            title="Counting",
+            description="test runner",
+            runner="_counting",
+            params={"value": 2.0, "sentence_count": 100},
+            key_columns=("run",),
+            metrics={"value": "lower"},
+        )
+    finally:
+        RUNNERS.pop("_counting", None)
+
+
+class TestCaptureEnvironment:
+    def test_environment_block_shape(self) -> None:
+        environment = capture_environment()
+        assert isinstance(environment["python"], str)
+        assert isinstance(environment["cpu_count"], int) and environment["cpu_count"] >= 1
+        assert isinstance(environment["ci"], bool)
+        assert environment["git_sha"] is None or isinstance(environment["git_sha"], str)
+        assert "T" in environment["generated_at"]  # ISO timestamp
+
+    def test_json_filename(self) -> None:
+        assert json_filename("figure8_index_size") == "BENCH_figure8_index_size.json"
+
+
+class TestExperimentRunner:
+    def test_writes_text_and_json_artefacts(self, tmp_path, counting_config) -> None:
+        with ExperimentRunner(out_dir=str(tmp_path / "out")) as runner:
+            report = runner.run(counting_config)
+        assert report.text_path.endswith("counting.txt")
+        assert report.json_path.endswith("BENCH_counting.json")
+        assert os.path.exists(report.text_path) and os.path.exists(report.json_path)
+        with open(report.json_path, encoding="utf-8") as handle:
+            document = json.load(handle)
+        assert validate_document(document) == []
+        assert document == json.loads(json.dumps(report.document))
+        assert "Counting" in open(report.text_path, encoding="utf-8").read()
+
+    def test_write_false_skips_artefacts(self, tmp_path, counting_config) -> None:
+        with ExperimentRunner(out_dir=str(tmp_path / "out")) as runner:
+            report = runner.run(counting_config, write=False)
+        assert report.json_path is None and report.text_path is None
+        assert not os.path.exists(str(tmp_path / "out" / "BENCH_counting.json"))
+        assert validate_document(json.loads(json.dumps(report.document))) == []
+
+    def test_no_out_dir_means_no_artefacts(self, counting_config) -> None:
+        with ExperimentRunner() as runner:
+            report = runner.run(counting_config)
+        assert report.json_path is None and report.text_path is None
+
+    def test_warmup_runs_are_not_measured(self, counting_config) -> None:
+        config = dataclasses.replace(counting_config, warmup=2)
+        with ExperimentRunner() as runner:
+            report = runner.run(config, write=False)
+        assert len(CALLS) == 3  # two warmups + one measured
+        assert report.document["measurement"]["warmup_runs"] == 2
+        assert report.document["measurement"]["measured_runs"] == 1
+
+    def test_overrides_reach_the_runner_and_the_document(self, counting_config) -> None:
+        with ExperimentRunner() as runner:
+            report = runner.run(counting_config, overrides={"value": 7.5}, write=False)
+        assert CALLS[-1]["value"] == 7.5
+        assert report.params["value"] == 7.5
+        assert report.document["config"]["params"]["value"] == 7.5
+
+    def test_scale_env_var_is_honoured(self, monkeypatch, counting_config) -> None:
+        monkeypatch.setenv(SCALE_ENV_VAR, "0.25")
+        with ExperimentRunner() as runner:
+            assert runner.scale == 0.25
+            report = runner.run(counting_config, write=False)
+        assert CALLS[-1]["sentence_count"] == 25
+        assert report.document["config"]["scale"] == 0.25
+
+    def test_explicit_scale_beats_env_var(self, monkeypatch, counting_config) -> None:
+        monkeypatch.setenv(SCALE_ENV_VAR, "0.25")
+        with ExperimentRunner(scale=0.5) as runner:
+            report = runner.run(counting_config, write=False)
+        assert report.params["sentence_count"] == 50
+
+    def test_non_positive_scale_rejected(self) -> None:
+        with pytest.raises(ValueError):
+            ExperimentRunner(scale=0.0)
+
+    def test_run_many_shares_one_context(self, counting_config) -> None:
+        with ExperimentRunner() as runner:
+            context = runner.context
+            reports = runner.run_many([counting_config, counting_config], write=False)
+            assert runner.context is context
+        assert [r.result.rows[0][0] for r in reports] == [1, 2]
+
+    def test_unknown_name_raises(self) -> None:
+        from repro.bench.registry import UnknownExperimentError
+
+        with ExperimentRunner() as runner:
+            with pytest.raises(UnknownExperimentError):
+                runner.run("no_such_experiment")

@@ -237,6 +237,158 @@ class TestExplain:
         assert "fetch total:" in capsys.readouterr().out
 
 
+def _bench_document(value_factor: float = 1.0) -> dict:
+    """A minimal valid bench document with one gated lower-is-better metric."""
+    return {
+        "schema_version": 1,
+        "kind": "repro-bench-result",
+        "experiment": "demo",
+        "config": {
+            "name": "demo", "title": "Demo", "description": "d", "runner": "r",
+            "seed": 17, "scale": 1.0, "params": {},
+            "key_columns": ["size"], "metrics": {"latency": "lower"},
+            "timing_columns": ["latency"],
+        },
+        "environment": {
+            "python": "3.11.7", "implementation": "CPython", "platform": "linux",
+            "cpu_count": 4, "ci": False, "git_sha": None,
+            "generated_at": "2026-01-01T00:00:00+00:00",
+        },
+        "measurement": {"wall_seconds": 0.1, "warmup_runs": 0, "measured_runs": 1},
+        "result": {
+            "name": "Demo", "description": "d", "columns": ["size", "latency"],
+            "rows": [[100, 1.0 * value_factor], [200, 2.0 * value_factor]],
+            "notes": [],
+        },
+    }
+
+
+class TestBench:
+    def test_bench_list(self, capsys) -> None:
+        assert main(["bench", "list"]) == 0
+        out = capsys.readouterr().out
+        assert "figure8_index_size" in out
+        assert "table3_join_counts" in out
+        assert "experiments registered" in out
+
+    def test_bench_list_json(self, capsys) -> None:
+        assert main(["bench", "list", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        names = [config["name"] for config in payload]
+        assert "figure2_index_keys" in names
+        assert all("metrics" in config for config in payload)
+
+    def test_bench_list_rejects_names(self, capsys) -> None:
+        assert main(["bench", "list", "figure8_index_size"]) == 2
+        assert "takes no experiment names" in capsys.readouterr().err
+
+    def test_bench_without_action_is_friendly(self, capsys) -> None:
+        assert main(["bench"]) == 2
+        assert "pass an action" in capsys.readouterr().err
+
+    def test_bench_run_unknown_experiment(self, tmp_path, capsys) -> None:
+        assert main([
+            "bench", "run", "no_such_experiment",
+            "--out", str(tmp_path / "out"), "--workdir", str(tmp_path / "work"),
+        ]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_bench_run_emits_artefacts(self, tmp_path, capsys) -> None:
+        out = tmp_path / "out"
+        assert main([
+            "bench", "run", "table3_join_counts",
+            "--out", str(out), "--workdir", str(tmp_path / "work"),
+        ]) == 0
+        assert "table3_join_counts" in capsys.readouterr().out
+        assert (out / "table3_join_counts.txt").exists()
+        document = json.loads((out / "BENCH_table3_join_counts.json").read_text())
+        from repro.bench.schema import validate_document
+
+        assert validate_document(document) == []
+        assert document["experiment"] == "table3_join_counts"
+
+    def test_bench_run_json_output(self, tmp_path, capsys) -> None:
+        assert main([
+            "bench", "run", "table3_join_counts", "--json",
+            "--out", str(tmp_path / "out"), "--workdir", str(tmp_path / "work"),
+        ]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["experiment"] == "table3_join_counts"
+
+    def test_gate_passes_on_identical_runs(self, tmp_path, monkeypatch, capsys) -> None:
+        monkeypatch.delenv("CI", raising=False)
+        for directory in ("baseline", "current"):
+            (tmp_path / directory).mkdir()
+            (tmp_path / directory / "BENCH_demo.json").write_text(
+                json.dumps(_bench_document()), encoding="utf-8"
+            )
+        assert main([
+            "bench", "gate", str(tmp_path / "baseline"),
+            "--current", str(tmp_path / "current"),
+        ]) == 0
+        assert "gate: OK" in capsys.readouterr().out
+
+    def test_gate_fails_on_injected_regression(self, tmp_path, monkeypatch, capsys) -> None:
+        monkeypatch.delenv("CI", raising=False)
+        (tmp_path / "baseline").mkdir()
+        (tmp_path / "baseline" / "BENCH_demo.json").write_text(
+            json.dumps(_bench_document()), encoding="utf-8"
+        )
+        (tmp_path / "current").mkdir()
+        (tmp_path / "current" / "BENCH_demo.json").write_text(
+            json.dumps(_bench_document(value_factor=2.0)), encoding="utf-8"
+        )
+        assert main([
+            "bench", "gate", str(tmp_path / "baseline"), str(tmp_path / "current"),
+        ]) == 1
+        out = capsys.readouterr().out
+        assert "regressed" in out
+        assert "gate: REGRESSED" in out
+
+    def test_gate_shorthand_flag_and_json(self, tmp_path, monkeypatch, capsys) -> None:
+        monkeypatch.delenv("CI", raising=False)
+        for directory in ("baseline", "current"):
+            (tmp_path / directory).mkdir()
+            (tmp_path / directory / "BENCH_demo.json").write_text(
+                json.dumps(_bench_document()), encoding="utf-8"
+            )
+        assert main([
+            "bench", "--gate", str(tmp_path / "baseline"),
+            "--current", str(tmp_path / "current"), "--json",
+        ]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ok"] is True
+        assert payload["experiments"][0]["experiment"] == "demo"
+
+    def test_gate_tolerance_flag(self, tmp_path, monkeypatch, capsys) -> None:
+        monkeypatch.delenv("CI", raising=False)
+        (tmp_path / "baseline").mkdir()
+        (tmp_path / "baseline" / "BENCH_demo.json").write_text(
+            json.dumps(_bench_document()), encoding="utf-8"
+        )
+        (tmp_path / "current").mkdir()
+        (tmp_path / "current" / "BENCH_demo.json").write_text(
+            json.dumps(_bench_document(value_factor=2.0)), encoding="utf-8"
+        )
+        # A 2x regression passes when the band is widened past it.
+        assert main([
+            "bench", "gate", str(tmp_path / "baseline"), str(tmp_path / "current"),
+            "--tolerance", "1.5",
+        ]) == 0
+        capsys.readouterr()
+
+    def test_gate_missing_baseline_is_friendly(self, tmp_path, capsys) -> None:
+        assert main([
+            "bench", "gate", str(tmp_path / "nope"),
+            "--current", str(tmp_path / "nope"),
+        ]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_gate_requires_baseline_argument(self, capsys) -> None:
+        assert main(["bench", "gate"]) == 2
+        assert "needs a baseline directory" in capsys.readouterr().err
+
+
 class TestQuery:
     def test_query_returns_matches(self, index_file, capsys) -> None:
         assert main(["query", index_file, "NP(DT)", "VP(VBZ)"]) == 0
