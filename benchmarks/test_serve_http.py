@@ -1,0 +1,30 @@
+"""Serving-layer benchmark: closed-loop throughput through the HTTP server."""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_experiment
+from repro.bench.guard import timing_bars_enabled
+
+
+def test_serve_http_throughput(runner) -> None:
+    report = run_experiment(runner, "serve_http_throughput")
+    rows = report.result.as_dicts()
+    assert rows, "the experiment produced no rows"
+
+    for row in rows:
+        # Correctness invariants, valid on any machine: the HTTP hop may
+        # add latency but never errors or different answers.
+        assert row["errors"] == 0, row
+        assert row["mismatches"] == 0, row
+        assert row["requests"] > 0, row
+        assert row["qps"] > 0, row
+        assert row["p50_ms"] <= row["p95_ms"] <= row["p99_ms"], row
+
+        if timing_bars_enabled():
+            # Little's law sanity check of the closed loop: with N clients
+            # each waiting for its response, mean in-flight latency is
+            # N / qps.  The median should sit within a generous band of it
+            # (heavy tails push the mean above the median, scheduling noise
+            # in either direction).
+            littles_ms = row["concurrency"] / row["qps"] * 1000.0
+            assert 0.1 * littles_ms < row["p50_ms"] < 10.0 * littles_ms, row

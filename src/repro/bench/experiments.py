@@ -10,6 +10,7 @@ numbers and how they compare to the paper's trends.
 
 from __future__ import annotations
 
+import json
 import os
 import time
 from typing import Dict, Iterable, List, Sequence, Tuple
@@ -651,6 +652,97 @@ def serve_cold_warm(
         "hot answers identical repeats from the result cache"
     )
     return result
+
+
+# ----------------------------------------------------------------------
+# Serve HTTP: closed-loop throughput/latency through the asyncio server
+# ----------------------------------------------------------------------
+def serve_http_throughput(
+    context: ExperimentContext,
+    sentence_count: int = 600,
+    mss: int = 3,
+    coding: str = "root-split",
+    concurrency_levels: Sequence[int] = (1, 2, 4),
+    duration_seconds: float = 1.0,
+    flush_window: float = 0.002,
+) -> ExperimentResult:
+    """Throughput vs latency of the HTTP serving layer under a closed loop.
+
+    The WH + FB query mix is driven through :mod:`repro.serve`'s asyncio
+    server by the closed-loop load generator at each concurrency level.
+    Every response payload is checked against the in-process
+    ``QueryService.run`` ground truth (the ``mismatches`` column must stay
+    zero: the HTTP hop adds latency, never different answers), so the
+    experiment is simultaneously the serving-layer equivalence test and its
+    performance profile.
+    """
+    from repro.serve.loadgen import run_load
+    from repro.serve.server import ServerThread, result_to_dict
+
+    result = ExperimentResult(
+        name="Serve HTTP throughput",
+        description=(
+            "Closed-loop throughput and latency of the asyncio HTTP server "
+            f"over the {coding} index (mss={mss})"
+        ),
+        columns=[
+            "concurrency",
+            "duration_seconds",
+            "requests",
+            "errors",
+            "mismatches",
+            "qps",
+            "p50_ms",
+            "p95_ms",
+            "p99_ms",
+        ],
+    )
+    index = context.subtree_index(sentence_count, coding, mss)
+    store = context.tree_store(sentence_count)
+    texts = [item.text for item in context.wh_queries()]
+    texts.extend(item.text for item in context.fb_queries(sentence_count))
+    service = QueryService(index, store=store)
+    try:
+        # Warm every cache, then snapshot the ground truth.  With warm
+        # result caches the server returns the very objects the snapshot
+        # was built from, so responses must match byte for byte.
+        service.run_many(texts)
+        expected = {text: _json_roundtrip(result_to_dict(service.run(text))) for text in texts}
+        with ServerThread(service, flush_window=flush_window) as thread:
+            for concurrency in concurrency_levels:
+                report = run_load(
+                    thread.url,
+                    texts,
+                    concurrency=concurrency,
+                    duration=duration_seconds,
+                    expected=expected,
+                )
+                latency = report.percentiles_ms()
+                result.add_row(
+                    concurrency,
+                    report.duration_seconds,
+                    report.requests,
+                    report.errors,
+                    report.mismatches,
+                    report.qps,
+                    latency["p50"],
+                    latency["p95"],
+                    latency["p99"],
+                )
+    finally:
+        # The context owns the index; only drop the service's caches.
+        service.clear_caches()
+        index.attach_postings_cache(None)
+    result.add_note(
+        "closed loop: each client issues its next query only after the previous "
+        "response; mismatches counts responses that differ from QueryService.run"
+    )
+    return result
+
+
+def _json_roundtrip(payload: Dict[str, object]) -> Dict[str, object]:
+    """*payload* as it looks after one encode/decode hop (float repr etc.)."""
+    return json.loads(json.dumps(payload))
 
 
 # ----------------------------------------------------------------------

@@ -35,6 +35,7 @@ RUNNERS: Dict[str, Callable[..., ExperimentResult]] = {
     "table2_system_comparison": _experiments.table2_system_comparison,
     "table3_join_counts": lambda context, **params: _experiments.table3_join_counts(**params),
     "serve_cold_warm": _experiments.serve_cold_warm,
+    "serve_http_throughput": _experiments.serve_http_throughput,
     "shard_scalability": _experiments.shard_scalability,
     "update_throughput": _experiments.update_throughput,
     "ablation_cover_selection": _experiments.ablation_cover_selection,
@@ -215,6 +216,24 @@ register(ExperimentConfig(
         "hot_ms_per_query",
         "warm_speedup",
         "hot_speedup",
+    ),
+))
+
+register(ExperimentConfig(
+    name="serve_http_throughput",
+    title="Serve HTTP throughput",
+    description="Closed-loop throughput vs latency of the asyncio HTTP query server",
+    runner="serve_http_throughput",
+    params={"sentence_count": 600, "concurrency_levels": (1, 2, 4), "duration_seconds": 1.0},
+    key_columns=("concurrency",),
+    metrics={"errors": "exact", "mismatches": "exact"},
+    timing_columns=(
+        "duration_seconds",
+        "requests",
+        "qps",
+        "p50_ms",
+        "p95_ms",
+        "p99_ms",
     ),
 ))
 

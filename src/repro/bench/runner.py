@@ -18,11 +18,10 @@ import json
 import os
 import platform
 import subprocess
-import sys
 import tempfile
 import time
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Union
+from typing import Dict, List, Optional, Tuple, Union
 
 from repro.bench.config import ExperimentConfig
 from repro.bench.context import ExperimentContext
@@ -50,6 +49,58 @@ def capture_environment() -> Dict[str, object]:
         "git_sha": _git_sha(),
         "generated_at": datetime.datetime.now(datetime.timezone.utc).isoformat(),
     }
+
+
+def build_document(
+    config: ExperimentConfig,
+    result: ExperimentResult,
+    wall_seconds: float,
+    scale: float = 1.0,
+    warmup_runs: int = 0,
+    measured_runs: int = 1,
+) -> Dict[str, object]:
+    """Assemble and validate the bench document for one measured result.
+
+    This is the single place the document shape is defined; both
+    :meth:`ExperimentRunner.run` and ``repro loadtest`` (which measures
+    against a user-supplied index, outside any runner context) build their
+    artefacts through it, so everything downstream of the schema -- the
+    validator, the regression gate, the committed baselines -- sees one
+    format.
+    """
+    document: Dict[str, object] = {
+        "schema_version": SCHEMA_VERSION,
+        "kind": DOCUMENT_KIND,
+        "experiment": config.name,
+        "config": config.as_dict(scale=scale),
+        "environment": capture_environment(),
+        "measurement": {
+            "wall_seconds": wall_seconds,
+            "warmup_runs": warmup_runs,
+            "measured_runs": measured_runs,
+        },
+        "result": result.to_dict(),
+    }
+    require_valid(json.loads(json.dumps(document)))
+    return document
+
+
+def write_artifacts(
+    out_dir: str,
+    config: ExperimentConfig,
+    result: ExperimentResult,
+    document: Dict[str, object],
+) -> Tuple[str, str]:
+    """Write the ``<name>.txt`` and ``BENCH_<name>.json`` artefact pair."""
+    os.makedirs(out_dir, exist_ok=True)
+    text_path = os.path.join(out_dir, f"{config.name}.txt")
+    with open(text_path, "w", encoding="utf-8") as handle:
+        handle.write(result.to_text() + "\n")
+    json_path = os.path.join(out_dir, json_filename(config.name))
+    with open(json_path, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return text_path, json_path
 
 
 def _git_sha() -> Optional[str]:
@@ -140,20 +191,9 @@ class ExperimentRunner:
         result = run_config(config, self.context)
         wall_seconds = time.perf_counter() - started
 
-        document: Dict[str, object] = {
-            "schema_version": SCHEMA_VERSION,
-            "kind": DOCUMENT_KIND,
-            "experiment": config.name,
-            "config": config.as_dict(scale=self.scale),
-            "environment": capture_environment(),
-            "measurement": {
-                "wall_seconds": wall_seconds,
-                "warmup_runs": config.warmup,
-                "measured_runs": 1,
-            },
-            "result": result.to_dict(),
-        }
-        require_valid(json.loads(json.dumps(document)))
+        document = build_document(
+            config, result, wall_seconds, scale=self.scale, warmup_runs=config.warmup
+        )
 
         report = RunReport(
             config=config,
@@ -163,14 +203,9 @@ class ExperimentRunner:
             wall_seconds=wall_seconds,
         )
         if write and self.out_dir is not None:
-            os.makedirs(self.out_dir, exist_ok=True)
-            report.text_path = os.path.join(self.out_dir, f"{config.name}.txt")
-            with open(report.text_path, "w", encoding="utf-8") as handle:
-                handle.write(result.to_text() + "\n")
-            report.json_path = os.path.join(self.out_dir, json_filename(config.name))
-            with open(report.json_path, "w", encoding="utf-8") as handle:
-                json.dump(document, handle, indent=2, sort_keys=True)
-                handle.write("\n")
+            report.text_path, report.json_path = write_artifacts(
+                self.out_dir, config, result, document
+            )
         return report
 
     def run_many(

@@ -1,6 +1,6 @@
 """Command-line interface for the subtree index.
 
-Eight subcommands cover the everyday workflow:
+Ten subcommands cover the everyday workflow:
 
 ``generate``
     sample a synthetic treebank and write it as bracketed Penn lines;
@@ -22,7 +22,16 @@ Eight subcommands cover the everyday workflow:
 ``bench``
     list and run the registered experiments (text table + machine-readable
     ``BENCH_<experiment>.json`` per run) and gate a result directory
-    against a baseline run (``--gate``; exits 1 on regression).
+    against a baseline run (``--gate``; exits 1 on regression);
+``serve``
+    serve a built index (plain, sharded or live) over HTTP: ``/query``,
+    ``/query/batch`` (micro-batched), ``/stats``, ``/healthz`` and a
+    Prometheus ``/metrics`` endpoint;
+``loadtest``
+    drive a closed-loop load test of the WH workload against an index --
+    self-served on an ephemeral port, or a server started elsewhere
+    (``--url``) -- verifying every response against the in-process ground
+    truth and writing a schema-valid ``BENCH_serve_http_throughput.json``.
 
 Example session::
 
@@ -39,6 +48,9 @@ Example session::
     python -m repro.cli delete corpus.si.live.json 17 42
     python -m repro.cli compact corpus.si.live.json
     python -m repro.cli stats corpus.si --json
+    python -m repro.cli serve corpus.si --port 8321
+    python -m repro.cli loadtest corpus.si --concurrency 1 4 --duration 2 --out results/
+    python -m repro.cli loadtest corpus.si --url http://127.0.0.1:8321
     python -m repro.cli bench list
     python -m repro.cli bench run figure8_index_size --out results/ --scale 0.5
     python -m repro.cli bench --gate baseline/ --current results/
@@ -491,6 +503,195 @@ def cmd_stats(args: argparse.Namespace) -> int:
 
 
 # ----------------------------------------------------------------------
+# HTTP serving and load testing
+# ----------------------------------------------------------------------
+def _validate_serve_knobs(args: argparse.Namespace) -> Optional[str]:
+    """The first invalid server knob as an error message, or None."""
+    if not 0 <= args.port <= 65535:
+        return f"--port must be in 0..65535 (0 = ephemeral), got {args.port}"
+    if args.flush_window < 0:
+        return f"--flush-window must be >= 0, got {args.flush_window}"
+    if args.max_batch < 1:
+        return f"--max-batch must be at least 1, got {args.max_batch}"
+    if args.workers < 1:
+        return f"--workers must be at least 1, got {args.workers}"
+    return None
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Serve an index over HTTP until interrupted."""
+    import asyncio
+
+    from repro.serve.server import ENDPOINTS, QueryServer, service_flavor
+
+    problem = _validate_serve_knobs(args)
+    if problem is not None:
+        print(f"error: {problem}", file=sys.stderr)
+        return 2
+    try:
+        service = QueryService.open(args.index)
+    except _OPEN_ERRORS as error:
+        print(f"error: cannot open index {args.index!r}: {error}", file=sys.stderr)
+        return 2
+
+    server = QueryServer(
+        service,
+        host=args.host,
+        port=args.port,
+        flush_window=args.flush_window,
+        max_batch=args.max_batch,
+        max_workers=args.workers,
+        index_path=args.index,
+    )
+
+    async def _serve() -> None:
+        await server.start()
+        print(f"serving {service_flavor(service)} index {args.index!r} on {server.url}")
+        print(f"endpoints: {', '.join(ENDPOINTS)} (ctrl-c to stop)")
+        await server.serve_forever()
+
+    try:
+        asyncio.run(_serve())
+    except OSError as error:  # e.g. the port is already bound
+        print(f"error: cannot serve on {args.host}:{args.port}: {error}", file=sys.stderr)
+        return 2
+    except KeyboardInterrupt:
+        pass
+    finally:
+        service.close()
+    return 0
+
+
+def cmd_loadtest(args: argparse.Namespace) -> int:
+    """Closed-loop load test of the WH workload against a served index."""
+    from dataclasses import replace
+
+    from repro.bench.registry import get_config
+    from repro.bench.results import ExperimentResult
+    from repro.bench.runner import build_document, write_artifacts
+    from repro.serve.loadgen import parse_base_url, run_load
+    from repro.serve.server import ServerThread, result_to_dict
+    from repro.workloads.wh import generate_wh_queries
+
+    if any(level < 1 for level in args.concurrency):
+        print(
+            f"error: --concurrency levels must be at least 1, got {args.concurrency}",
+            file=sys.stderr,
+        )
+        return 2
+    if args.duration <= 0:
+        print(f"error: --duration must be positive, got {args.duration}", file=sys.stderr)
+        return 2
+    if args.url is not None:
+        try:
+            parse_base_url(args.url)
+        except ValueError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+    try:
+        service = QueryService.open(args.index)
+    except _OPEN_ERRORS as error:
+        print(f"error: cannot open index {args.index!r}: {error}", file=sys.stderr)
+        return 2
+
+    # The registered experiment defines the column semantics (key columns,
+    # gated metrics, timing columns); only the parameters differ -- the
+    # index under test comes from the user, not the bench context.
+    config = replace(
+        get_config("serve_http_throughput"),
+        params={
+            "index": args.index,
+            "url": args.url,
+            "concurrency_levels": tuple(args.concurrency),
+            "duration_seconds": args.duration,
+        },
+    )
+    result = ExperimentResult(
+        name="Serve HTTP throughput",
+        description=f"Closed-loop WH-workload throughput against {args.index!r}",
+        columns=[
+            "concurrency",
+            "duration_seconds",
+            "requests",
+            "errors",
+            "mismatches",
+            "qps",
+            "p50_ms",
+            "p95_ms",
+            "p99_ms",
+        ],
+    )
+
+    texts = [item.text for item in generate_wh_queries()]
+    thread = None
+    wall_started = time.perf_counter()
+    try:
+        # Warm the caches, then snapshot the in-process ground truth every
+        # response is verified against.
+        service.run_many(texts)
+        expected = {
+            text: json.loads(json.dumps(result_to_dict(service.run(text)))) for text in texts
+        }
+        if args.url is None:
+            thread = ServerThread(service, flush_window=args.flush_window).start()
+            url = thread.url
+            print(f"serving {args.index!r} on {url} for the duration of the test")
+        else:
+            url = args.url
+        for concurrency in args.concurrency:
+            try:
+                report = run_load(
+                    url, texts, concurrency=concurrency, duration=args.duration,
+                    expected=expected,
+                )
+            except OSError as error:
+                print(f"error: load test against {url} failed: {error}", file=sys.stderr)
+                return 2
+            latency = report.percentiles_ms()
+            result.add_row(
+                concurrency,
+                report.duration_seconds,
+                report.requests,
+                report.errors,
+                report.mismatches,
+                report.qps,
+                latency["p50"],
+                latency["p95"],
+                latency["p99"],
+            )
+            print(
+                f"concurrency {concurrency}: {report.qps:,.0f} qps "
+                f"({report.requests:,} requests, {report.errors} errors, "
+                f"{report.mismatches} mismatches), "
+                f"p50 {latency['p50']:.2f} ms, p95 {latency['p95']:.2f} ms, "
+                f"p99 {latency['p99']:.2f} ms"
+            )
+    finally:
+        if thread is not None:
+            thread.stop()
+        service.close()
+
+    result.add_note(f"driven by 'repro loadtest' against {args.index!r}")
+    document = build_document(
+        config, result, wall_seconds=time.perf_counter() - wall_started
+    )
+    _, json_path = write_artifacts(args.out, config, result, document)
+    print(f"wrote {json_path}")
+    total_errors = sum(row["errors"] for row in result.as_dicts())
+    total_mismatches = sum(row["mismatches"] for row in result.as_dicts())
+    if total_mismatches:
+        print(
+            f"error: {total_mismatches} responses differed from QueryService.run",
+            file=sys.stderr,
+        )
+        return 1
+    if total_errors:
+        print(f"error: {total_errors} requests failed", file=sys.stderr)
+        return 1
+    return 0
+
+
+# ----------------------------------------------------------------------
 # Experiment orchestration (bench list / run / gate)
 # ----------------------------------------------------------------------
 def _bench_list(args: argparse.Namespace) -> int:
@@ -748,6 +949,55 @@ def build_parser() -> argparse.ArgumentParser:
         help="emit machine-readable JSON (with a per-shard breakdown when sharded)",
     )
     stats.set_defaults(func=cmd_stats)
+
+    serve = subparsers.add_parser("serve", help="serve an index over HTTP")
+    serve.add_argument("index", help="index file, sharded manifest or live manifest")
+    serve.add_argument("--host", default="127.0.0.1", help="address to bind (default: loopback)")
+    serve.add_argument(
+        "--port", type=int, default=8321,
+        help="port to bind (0 picks an ephemeral port; default: 8321)",
+    )
+    serve.add_argument(
+        "--flush-window", type=float, default=0.002,
+        help="seconds /query/batch waits to coalesce concurrent queries into one "
+             "run_many batch (default: 0.002)",
+    )
+    serve.add_argument(
+        "--max-batch", type=int, default=64,
+        help="flush a pending micro-batch once it reaches this many queries",
+    )
+    serve.add_argument(
+        "--workers", type=int, default=4,
+        help="worker threads executing queries off the event loop (default: 4)",
+    )
+    serve.set_defaults(func=cmd_serve)
+
+    loadtest = subparsers.add_parser(
+        "loadtest", help="closed-loop load test of the WH workload against an index"
+    )
+    loadtest.add_argument("index", help="index to test (used for the ground-truth check)")
+    loadtest.add_argument(
+        "--url", default=None,
+        help="base URL of an already-running server (default: self-serve the index "
+             "on an ephemeral port)",
+    )
+    loadtest.add_argument(
+        "--concurrency", type=int, nargs="+", default=[1, 2, 4],
+        help="closed-loop client counts to sweep (default: 1 2 4)",
+    )
+    loadtest.add_argument(
+        "--duration", type=float, default=2.0,
+        help="seconds to drive load at each concurrency level (default: 2)",
+    )
+    loadtest.add_argument(
+        "--flush-window", type=float, default=0.002,
+        help="micro-batch flush window of the self-served server (default: 0.002)",
+    )
+    loadtest.add_argument(
+        "--out", default=".",
+        help="directory for the BENCH_serve_http_throughput.json artefact (default: .)",
+    )
+    loadtest.set_defaults(func=cmd_loadtest)
 
     return parser
 

@@ -1,0 +1,118 @@
+"""Micro-batching: coalesce concurrent queries into one ``run_many`` call.
+
+The query services already amortise work across a batch -- ``run_many``
+fetches each distinct cover key once and joins each distinct query once --
+but an HTTP server receives queries one request at a time.  The
+:class:`MicroBatcher` closes that gap: queries submitted while a flush is
+pending (from one ``/query/batch`` request or from many concurrent ones)
+are collected for up to ``flush_window`` seconds, then executed as a single
+``run_many`` batch on the worker pool.  Each submitter gets exactly its own
+results back, in its own order.
+
+A window of zero still batches whatever arrived within one event-loop tick
+(the flush is scheduled, not run inline), which is the natural setting for
+tests and the right one for latency-sensitive serving.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from concurrent.futures import Executor
+from typing import List, Optional, Sequence, Tuple
+
+from repro.exec.executor import QueryResult
+from repro.service.service import QueryService
+
+
+class MicroBatcher:
+    """Collects queries across awaiters and flushes them as one batch.
+
+    Parameters
+    ----------
+    service:
+        Any of the three query-service flavors; only ``run_many`` is used.
+    executor:
+        The thread pool the (blocking, CPU/IO-bound) ``run_many`` call runs
+        on, keeping the event loop free to accept more requests -- which is
+        exactly what gives the batcher something to coalesce.
+    flush_window:
+        Seconds to keep a pending batch open after its first query arrives.
+    max_batch:
+        Flush immediately once this many queries are pending.
+    """
+
+    def __init__(
+        self,
+        service: QueryService,
+        executor: Executor,
+        flush_window: float = 0.002,
+        max_batch: int = 64,
+    ):
+        if flush_window < 0:
+            raise ValueError(f"flush window must be >= 0, got {flush_window}")
+        if max_batch < 1:
+            raise ValueError(f"max batch must be >= 1, got {max_batch}")
+        self._service = service
+        self._executor = executor
+        self.flush_window = flush_window
+        self.max_batch = max_batch
+        self._pending: List[Tuple[str, asyncio.Future]] = []
+        self._flush_handle: Optional[asyncio.TimerHandle] = None
+        #: Telemetry: flushes executed and queries that shared a flush.
+        self.flushes = 0
+        self.queries_batched = 0
+
+    # ------------------------------------------------------------------
+    async def submit(self, queries: Sequence[str]) -> List[QueryResult]:
+        """Enqueue *queries* and await their results (input order kept)."""
+        if not queries:
+            return []
+        loop = asyncio.get_running_loop()
+        futures = [loop.create_future() for _ in queries]
+        self._pending.extend(zip(queries, futures))
+        if len(self._pending) >= self.max_batch:
+            self._cancel_timer()
+            self._flush()
+        elif self._flush_handle is None:
+            self._flush_handle = loop.call_later(self.flush_window, self._flush)
+        return list(await asyncio.gather(*futures))
+
+    def _cancel_timer(self) -> None:
+        if self._flush_handle is not None:
+            self._flush_handle.cancel()
+            self._flush_handle = None
+
+    def _flush(self) -> None:
+        """Hand the pending batch to the pool and fan results back out."""
+        self._flush_handle = None
+        batch, self._pending = self._pending, []
+        if not batch:
+            return
+        self.flushes += 1
+        self.queries_batched += len(batch)
+        texts = [text for text, _ in batch]
+        futures = [future for _, future in batch]
+        loop = asyncio.get_running_loop()
+        pool_future = loop.run_in_executor(self._executor, self._service.run_many, texts)
+
+        def deliver(done: "asyncio.Future") -> None:
+            error = done.exception()
+            if error is not None:
+                for future in futures:
+                    if not future.done():
+                        future.set_exception(error)
+                return
+            for future, result in zip(futures, done.result()):
+                if not future.done():
+                    future.set_result(result)
+
+        pool_future.add_done_callback(deliver)
+
+    async def drain(self) -> None:
+        """Flush anything pending and wait for it (used on shutdown)."""
+        self._cancel_timer()
+        if not self._pending:
+            return
+        futures = [future for _, future in self._pending]
+        self._flush()
+        await asyncio.gather(*futures, return_exceptions=True)

@@ -1,0 +1,245 @@
+"""Closed-loop load generation against a running query server.
+
+``run_load`` drives ``concurrency`` worker threads, each owning one
+keep-alive :class:`http.client.HTTPConnection` and issuing ``POST /query``
+requests back-to-back (closed loop: a worker sends its next request only
+after the previous response lands, so offered load adapts to what the
+server sustains instead of queueing unboundedly).  Workers walk a shared
+query mix round-robin from staggered offsets, so at any instant the server
+sees a blend of repeated (cache-friendly) and fresh queries -- the shape
+the WH + FB workloads of the paper's experiments produce.
+
+Latencies are recorded per request as raw samples; the report computes
+exact percentiles from the sorted series (unlike the server's ``/metrics``
+histogram, which estimates them from log-spaced buckets -- comparing the
+two is a useful sanity check of the bucket resolution).
+
+An optional ``expected`` mapping (query text -> result dict, as produced by
+``result_to_dict``) makes every worker verify each response against the
+in-process ground truth; mismatches are counted in the report.  Compared
+are the *answer* fields -- ``total_matches``, ``matched_tids``,
+``matches_per_tree`` -- not the per-execution telemetry under ``stats``
+(``elapsed_seconds`` differs on every run by construction).  This is the
+served-vs-direct equivalence check the bench experiment relies on.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+from urllib.parse import urlsplit
+
+from repro.serve.metrics import REPORTED_QUANTILES, percentile_of_sorted
+
+#: The result fields that constitute the answer (vs per-execution telemetry).
+ANSWER_FIELDS = ("total_matches", "matched_tids", "matches_per_tree")
+
+
+def answer_of(result: Dict[str, object]) -> Tuple[object, ...]:
+    """The comparable answer of one ``result_to_dict`` payload."""
+    return tuple(result.get(field) for field in ANSWER_FIELDS)
+
+
+@dataclass
+class LoadgenReport:
+    """What one closed-loop run measured."""
+
+    concurrency: int
+    duration_seconds: float  # measured wall time, not the requested duration
+    requests: int
+    errors: int
+    #: Responses that differed from the expected (in-process) result.
+    mismatches: int
+    #: Per-request latencies in seconds, sorted ascending.
+    latencies: List[float] = field(default_factory=list)
+
+    @property
+    def qps(self) -> float:
+        """Completed requests per second of wall time."""
+        if self.duration_seconds <= 0:
+            return 0.0
+        return self.requests / self.duration_seconds
+
+    def percentile(self, q: float) -> Optional[float]:
+        """The exact q-th latency percentile in seconds (None if no samples)."""
+        return percentile_of_sorted(self.latencies, q)
+
+    def percentiles_ms(self) -> Dict[str, Optional[float]]:
+        """``{"p50": ..., "p95": ..., "p99": ...}`` in milliseconds."""
+        out: Dict[str, Optional[float]] = {}
+        for q in REPORTED_QUANTILES:
+            value = self.percentile(q)
+            out[f"p{int(q * 100)}"] = None if value is None else value * 1000.0
+        return out
+
+    def as_dict(self) -> Dict[str, object]:
+        """The JSON-friendly summary (raw samples reduced to percentiles)."""
+        return {
+            "concurrency": self.concurrency,
+            "duration_seconds": self.duration_seconds,
+            "requests": self.requests,
+            "errors": self.errors,
+            "mismatches": self.mismatches,
+            "qps": self.qps,
+            "latency_ms": self.percentiles_ms(),
+        }
+
+
+class _Worker(threading.Thread):
+    """One closed-loop client: connect, fire, record, repeat until deadline."""
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        queries: Sequence[str],
+        offset: int,
+        barrier: threading.Barrier,
+        deadline_holder: List[float],
+        expected: Optional[Dict[str, Dict[str, object]]],
+        timeout: float,
+    ):
+        super().__init__(name=f"loadgen-{offset}", daemon=True)
+        self._host = host
+        self._port = port
+        self._queries = queries
+        self._position = offset % len(queries)
+        self._barrier = barrier
+        self._deadline_holder = deadline_holder
+        self._expected = expected
+        self._timeout = timeout
+        self.latencies: List[float] = []
+        self.errors = 0
+        self.mismatches = 0
+        self.failure: Optional[BaseException] = None
+
+    def run(self) -> None:  # pragma: no cover - exercised via run_load
+        try:
+            connection = http.client.HTTPConnection(self._host, self._port, timeout=self._timeout)
+            connection.connect()  # fail fast: a refused connection aborts the run
+            try:
+                self._barrier.wait()
+                deadline = self._deadline_holder[0]
+                while time.perf_counter() < deadline:
+                    self._one_request(connection)
+            finally:
+                connection.close()
+        except BaseException as error:  # noqa: BLE001 - reported by run_load
+            self.failure = error
+            self._barrier.abort()  # release everyone blocked on the start line
+
+    def _one_request(self, connection: http.client.HTTPConnection) -> None:
+        text = self._queries[self._position]
+        self._position = (self._position + 1) % len(self._queries)
+        body = json.dumps({"query": text})
+        started = time.perf_counter()
+        try:
+            connection.request(
+                "POST", "/query", body=body, headers={"Content-Type": "application/json"}
+            )
+            response = connection.getresponse()
+            payload = response.read()
+            status = response.status
+        except (OSError, http.client.HTTPException):
+            self.errors += 1
+            connection.close()  # reconnect lazily on the next request
+            return
+        self.latencies.append(time.perf_counter() - started)
+        if status != 200:
+            self.errors += 1
+            return
+        if self._expected is not None:
+            try:
+                result = json.loads(payload)["result"]
+            except (json.JSONDecodeError, KeyError, UnicodeDecodeError):
+                self.mismatches += 1
+                return
+            reference = self._expected.get(text)
+            if reference is None or answer_of(result) != answer_of(reference):
+                self.mismatches += 1
+
+
+def parse_base_url(url: str) -> Tuple[str, int]:
+    """``host, port`` from a base URL like ``http://127.0.0.1:8321``."""
+    parts = urlsplit(url if "//" in url else f"http://{url}")
+    if parts.scheme not in ("", "http"):
+        raise ValueError(f"only http:// URLs are supported, got {url!r}")
+    if not parts.hostname:
+        raise ValueError(f"cannot extract a host from {url!r}")
+    return parts.hostname, parts.port or 80
+
+
+def run_load(
+    url: str,
+    queries: Sequence[str],
+    concurrency: int,
+    duration: float,
+    expected: Optional[Dict[str, Dict[str, object]]] = None,
+    timeout: float = 30.0,
+) -> LoadgenReport:
+    """Drive a closed loop of *concurrency* clients for *duration* seconds.
+
+    All workers connect first, then start together behind a barrier, so the
+    measured window contains no connection-setup ramp.  Raises the first
+    worker-level failure (e.g. refused connection) rather than reporting a
+    silently empty run.
+    """
+    if concurrency < 1:
+        raise ValueError(f"concurrency must be >= 1, got {concurrency}")
+    if duration <= 0:
+        raise ValueError(f"duration must be > 0, got {duration}")
+    if not queries:
+        raise ValueError("the query mix is empty")
+    host, port = parse_base_url(url)
+
+    deadline_holder = [0.0]
+    barrier = threading.Barrier(concurrency + 1)
+    stagger = max(1, len(queries) // max(concurrency, 1))
+    workers = [
+        _Worker(
+            host, port, queries, offset * stagger, barrier, deadline_holder, expected, timeout
+        )
+        for offset in range(concurrency)
+    ]
+    for worker in workers:
+        worker.start()
+    # The deadline must be written before the barrier releases the workers;
+    # the skew (main reaches the barrier last if workers connect instantly)
+    # only shortens the run, never lets a worker see a stale deadline.
+    deadline_holder[0] = time.perf_counter() + duration
+    try:
+        barrier.wait()  # releases every connected worker at once
+    except threading.BrokenBarrierError:
+        pass  # a worker failed before the start line; its failure is raised below
+    started = time.perf_counter()
+    for worker in workers:
+        worker.join()
+    elapsed = time.perf_counter() - started
+
+    failures = [worker.failure for worker in workers if worker.failure is not None]
+    for failure in failures:  # prefer the root cause over broken-barrier fallout
+        if not isinstance(failure, threading.BrokenBarrierError):
+            raise failure
+    if failures:
+        raise failures[0]
+
+    latencies: List[float] = []
+    errors = 0
+    mismatches = 0
+    for worker in workers:
+        latencies.extend(worker.latencies)
+        errors += worker.errors
+        mismatches += worker.mismatches
+    latencies.sort()
+    return LoadgenReport(
+        concurrency=concurrency,
+        duration_seconds=elapsed,
+        requests=len(latencies),
+        errors=errors,
+        mismatches=mismatches,
+        latencies=latencies,
+    )

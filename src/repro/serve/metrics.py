@@ -1,0 +1,230 @@
+"""Latency histograms, quantile estimation and Prometheus text rendering.
+
+The serving layer measures request latency two ways:
+
+:class:`LatencyHistogram`
+    fixed log-spaced buckets, observed online by the HTTP server -- constant
+    memory no matter how many requests arrive, exported verbatim in the
+    Prometheus exposition format (``_bucket``/``_sum``/``_count`` series)
+    plus derived p50/p95/p99 lines.  Quantiles from a bucketed histogram are
+    *estimates*: linear interpolation inside the owning bucket, clamped to
+    the observed min/max so a single sample reports itself exactly.
+
+:func:`percentile_of_sorted`
+    exact quantiles over raw samples, used by the closed-loop load generator
+    (:mod:`repro.serve.loadgen`), which keeps every latency it measured.
+
+Both live here so the bucket-boundary and tail-estimation behaviour is
+tested in one place (``tests/serve/test_metrics.py``).
+"""
+
+from __future__ import annotations
+
+import threading
+from bisect import bisect_left
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+#: Default latency buckets in seconds: a 1-2.5-5 ladder from 0.1 ms to 10 s.
+#: Upper bounds, inclusive (Prometheus ``le`` semantics); values beyond the
+#: last bound land in the implicit ``+Inf`` overflow bucket.
+DEFAULT_BUCKETS: Tuple[float, ...] = (
+    0.0001, 0.00025, 0.0005,
+    0.001, 0.0025, 0.005,
+    0.01, 0.025, 0.05,
+    0.1, 0.25, 0.5,
+    1.0, 2.5, 5.0,
+    10.0,
+)
+
+#: The quantiles every latency report derives (p50 / p95 / p99).
+REPORTED_QUANTILES: Tuple[float, ...] = (0.5, 0.95, 0.99)
+
+
+def percentile_of_sorted(sorted_values: Sequence[float], q: float) -> Optional[float]:
+    """Exact q-quantile of pre-sorted samples, linearly interpolated.
+
+    Returns ``None`` for an empty series.  ``q`` is a fraction in [0, 1];
+    a single sample is every quantile of itself.
+    """
+    if not 0.0 <= q <= 1.0:
+        raise ValueError(f"quantile must be in [0, 1], got {q}")
+    if not sorted_values:
+        return None
+    if len(sorted_values) == 1:
+        return float(sorted_values[0])
+    position = q * (len(sorted_values) - 1)
+    lower = int(position)
+    upper = min(lower + 1, len(sorted_values) - 1)
+    fraction = position - lower
+    return float(sorted_values[lower] * (1.0 - fraction) + sorted_values[upper] * fraction)
+
+
+class LatencyHistogram:
+    """An online histogram over fixed log-spaced upper bounds.
+
+    ``observe`` is guarded by one short lock so the server's event loop and
+    any scraping thread agree on the counters; contention is negligible next
+    to the query work each observation measures.
+    """
+
+    def __init__(self, buckets: Sequence[float] = DEFAULT_BUCKETS):
+        bounds = tuple(float(bound) for bound in buckets)
+        if not bounds:
+            raise ValueError("a histogram needs at least one bucket bound")
+        if list(bounds) != sorted(bounds) or len(set(bounds)) != len(bounds):
+            raise ValueError("bucket bounds must be strictly increasing")
+        if any(bound <= 0 for bound in bounds):
+            raise ValueError("bucket bounds must be positive")
+        self.bounds = bounds
+        #: Per-bucket (non-cumulative) counts; the last slot is ``+Inf``.
+        self._counts: List[int] = [0] * (len(bounds) + 1)
+        self._count = 0
+        self._sum = 0.0
+        self._min: Optional[float] = None
+        self._max: Optional[float] = None
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    def observe(self, seconds: float) -> None:
+        """Record one measurement (negative values clamp to zero)."""
+        value = max(0.0, float(seconds))
+        position = bisect_left(self.bounds, value)  # first bound >= value: le semantics
+        with self._lock:
+            self._counts[position] += 1
+            self._count += 1
+            self._sum += value
+            if self._min is None or value < self._min:
+                self._min = value
+            if self._max is None or value > self._max:
+                self._max = value
+
+    @property
+    def count(self) -> int:
+        """Number of observations."""
+        return self._count
+
+    @property
+    def sum(self) -> float:
+        """Sum of all observed values, in seconds."""
+        return self._sum
+
+    def bucket_counts(self) -> List[int]:
+        """Non-cumulative per-bucket counts (last entry is the overflow bucket)."""
+        with self._lock:
+            return list(self._counts)
+
+    def cumulative_counts(self) -> List[int]:
+        """Cumulative counts per bound, Prometheus ``le`` style (last is +Inf)."""
+        cumulative: List[int] = []
+        total = 0
+        for count in self.bucket_counts():
+            total += count
+            cumulative.append(total)
+        return cumulative
+
+    # ------------------------------------------------------------------
+    def quantile(self, q: float) -> Optional[float]:
+        """Estimate the q-quantile from the buckets (``None`` when empty).
+
+        Standard histogram interpolation: find the bucket holding the target
+        rank and interpolate linearly between its bounds, then clamp to the
+        observed min/max -- so a single observation is reported exactly and
+        the overflow bucket never extrapolates beyond what was seen.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        with self._lock:
+            counts = list(self._counts)
+            total = self._count
+            seen_min, seen_max = self._min, self._max
+        if total == 0:
+            return None
+        assert seen_min is not None and seen_max is not None
+        rank = q * total
+        cumulative = 0
+        lower = 0.0
+        estimate = seen_max
+        for position, count in enumerate(counts):
+            upper = self.bounds[position] if position < len(self.bounds) else seen_max
+            if count and cumulative + count >= rank:
+                fraction = (rank - cumulative) / count if count else 0.0
+                estimate = lower + (max(upper, lower) - lower) * fraction
+                break
+            cumulative += count
+            lower = upper
+        return min(max(estimate, seen_min), seen_max)
+
+    def percentiles(self) -> Dict[str, Optional[float]]:
+        """The derived p50/p95/p99 estimates, in seconds."""
+        return {f"p{int(q * 100)}": self.quantile(q) for q in REPORTED_QUANTILES}
+
+
+# ----------------------------------------------------------------------
+# Prometheus text exposition (format version 0.0.4)
+# ----------------------------------------------------------------------
+def _format_labels(labels: Dict[str, str]) -> str:
+    if not labels:
+        return ""
+    body = ",".join(f'{name}="{_escape(value)}"' for name, value in sorted(labels.items()))
+    return "{" + body + "}"
+
+
+def _escape(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _format_number(value: float) -> str:
+    if value == float("inf"):
+        return "+Inf"
+    if isinstance(value, float) and value.is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+def prometheus_line(
+    name: str, value: float, labels: Optional[Dict[str, str]] = None
+) -> str:
+    """One ``name{labels} value`` sample line."""
+    return f"{name}{_format_labels(labels or {})} {_format_number(float(value))}"
+
+
+def render_histogram(
+    name: str, histogram: LatencyHistogram, labels: Optional[Dict[str, str]] = None
+) -> List[str]:
+    """The ``_bucket`` / ``_sum`` / ``_count`` series of one histogram.
+
+    Quantile estimates are exported alongside as ``<name>_quantile`` gauge
+    lines (one per p50/p95/p99) -- Prometheus derives quantiles server-side
+    with ``histogram_quantile``, but scrapers without PromQL (the load-test
+    harness, humans with curl) read them directly.
+    """
+    labels = dict(labels or {})
+    lines: List[str] = []
+    cumulative = histogram.cumulative_counts()
+    for bound, count in zip(list(histogram.bounds) + [float("inf")], cumulative):
+        bucket_labels = dict(labels)
+        bucket_labels["le"] = _format_number(bound)
+        lines.append(prometheus_line(f"{name}_bucket", count, bucket_labels))
+    lines.append(prometheus_line(f"{name}_sum", histogram.sum, labels))
+    lines.append(prometheus_line(f"{name}_count", histogram.count, labels))
+    for label, estimate in histogram.percentiles().items():
+        if estimate is None:
+            continue
+        quantile_labels = dict(labels)
+        quantile_labels["quantile"] = f"0.{label[1:]}"
+        lines.append(prometheus_line(f"{name}_quantile", estimate, quantile_labels))
+    return lines
+
+
+def render_metadata(name: str, kind: str, help_text: str) -> List[str]:
+    """The ``# HELP`` / ``# TYPE`` header of one metric family."""
+    return [f"# HELP {name} {help_text}", f"# TYPE {name} {kind}"]
+
+
+def render_families(families: Iterable[Tuple[str, str, str, List[str]]]) -> str:
+    """Join (name, kind, help, sample-lines) families into one exposition body."""
+    lines: List[str] = []
+    for name, kind, help_text, samples in families:
+        lines.extend(render_metadata(name, kind, help_text))
+        lines.extend(samples)
+    return "\n".join(lines) + "\n"

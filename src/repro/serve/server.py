@@ -1,0 +1,568 @@
+"""A stdlib-only asyncio HTTP front end over any query-service flavor.
+
+``QueryServer`` speaks just enough HTTP/1.1 (request line, headers,
+``Content-Length`` bodies, keep-alive) over ``asyncio`` streams to serve
+five JSON/text endpoints:
+
+``POST /query``
+    ``{"query": "NP(DT)(NN)"}`` -> one result (matches per tree, stats);
+``POST /query/batch``
+    ``{"queries": [...]}`` -> results in input order.  Queries are
+    micro-batched through :class:`~repro.serve.batch.MicroBatcher`: every
+    query pending within one flush window -- across concurrent requests --
+    shares a single ``run_many`` call;
+``GET /stats``
+    the merged service-stats shape (identical keys for plain / sharded /
+    live services) plus server-side counters;
+``GET /healthz``
+    liveness: flavor, index path, uptime;
+``GET /metrics``
+    Prometheus text: per-endpoint request/error counters and latency
+    histograms (log-spaced buckets + derived p50/p95/p99), cache hit
+    rates, service and batcher counters.
+
+Query execution is synchronous, CPU-bound work, so handlers push it onto a
+thread pool (the services are thread-safe by design) and the event loop
+stays free to accept and batch further requests.  The server owns nothing:
+pass an open service, close it yourself -- or use :func:`open_server` /
+``repro serve`` which open and close the service around the server.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from typing import Dict, List, Optional, Tuple
+
+from repro.exec.executor import QueryResult
+from repro.serve.batch import MicroBatcher
+from repro.serve.metrics import LatencyHistogram, prometheus_line, render_families, render_histogram
+from repro.service.live import LiveQueryService
+from repro.service.service import QueryService
+from repro.service.sharded import ShardedQueryService
+
+#: Routes the server knows, in display order.
+ENDPOINTS = ("/query", "/query/batch", "/stats", "/healthz", "/metrics")
+
+_JSON = "application/json"
+_PROMETHEUS = "text/plain; version=0.0.4; charset=utf-8"
+
+_STATUS_REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    500: "Internal Server Error",
+}
+
+
+def service_flavor(service: QueryService) -> str:
+    """The wire name of a service's flavor: ``plain`` / ``sharded`` / ``live``."""
+    if isinstance(service, LiveQueryService):
+        return "live"
+    if isinstance(service, ShardedQueryService):
+        return "sharded"
+    return "plain"
+
+
+def result_to_dict(result: QueryResult) -> Dict[str, object]:
+    """The JSON form of one :class:`QueryResult` (tids are string keys)."""
+    stats = result.stats
+    return {
+        "total_matches": result.total_matches,
+        "matched_tids": result.matched_tids,
+        "matches_per_tree": {str(tid): count for tid, count in sorted(result.matches_per_tree.items())},
+        "stats": {
+            "coding": stats.coding,
+            "strategy": stats.strategy,
+            "cover_size": stats.cover_size,
+            "join_count": stats.join_count,
+            "postings_fetched": stats.postings_fetched,
+            "candidates_filtered": stats.candidates_filtered,
+            "elapsed_seconds": stats.elapsed_seconds,
+        },
+    }
+
+
+class BadRequest(ValueError):
+    """A client error the handler converts into a 400 JSON response."""
+
+
+class EndpointMetrics:
+    """Request/error counters and a latency histogram for one endpoint."""
+
+    def __init__(self) -> None:
+        self.requests = 0
+        self.errors = 0
+        self.latency = LatencyHistogram()
+
+    def record(self, status: int, seconds: float) -> None:
+        self.requests += 1
+        if status >= 400:
+            self.errors += 1
+        self.latency.observe(seconds)
+
+
+class ServerMetrics:
+    """Per-endpoint metrics plus the Prometheus renderer."""
+
+    def __init__(self) -> None:
+        self.endpoints: Dict[str, EndpointMetrics] = {path: EndpointMetrics() for path in ENDPOINTS}
+        self._unmatched = EndpointMetrics()  # 404s / bad routes, aggregated
+
+    def for_endpoint(self, path: str) -> EndpointMetrics:
+        return self.endpoints.get(path, self._unmatched)
+
+    # ------------------------------------------------------------------
+    def render(self, service: QueryService, batcher: Optional[MicroBatcher]) -> str:
+        """The full exposition body: server, batcher and service families."""
+        stats = service.stats().as_dict()  # one shape for every flavor
+        request_lines: List[str] = []
+        error_lines: List[str] = []
+        latency_lines: List[str] = []
+        labelled = list(self.endpoints.items()) + [("other", self._unmatched)]
+        for path, endpoint in labelled:
+            labels = {"endpoint": path}
+            request_lines.append(prometheus_line("repro_http_requests_total", endpoint.requests, labels))
+            error_lines.append(prometheus_line("repro_http_errors_total", endpoint.errors, labels))
+            if endpoint.latency.count:
+                latency_lines.extend(
+                    render_histogram("repro_http_request_duration_seconds", endpoint.latency, labels)
+                )
+
+        caches = stats["caches"]  # type: ignore[index]
+        cache_lines: List[str] = []
+        hit_rate_lines: List[str] = []
+        for name, counters in caches.items():  # type: ignore[union-attr]
+            labels = {"cache": name}
+            cache_lines.append(prometheus_line("repro_cache_lookups_total", counters["lookups"], labels))
+            cache_lines.append(prometheus_line("repro_cache_hits_total", counters["hits"], labels))
+            hit_rate_lines.append(prometheus_line("repro_cache_hit_rate", counters["hit_rate"], labels))
+
+        probes = stats["probes"]  # type: ignore[index]
+        families = [
+            (
+                "repro_http_requests_total", "counter",
+                "HTTP requests received, by endpoint.", request_lines,
+            ),
+            (
+                "repro_http_errors_total", "counter",
+                "HTTP responses with a 4xx/5xx status, by endpoint.", error_lines,
+            ),
+            (
+                "repro_http_request_duration_seconds", "histogram",
+                "Request latency by endpoint (log-spaced buckets; _quantile lines are "
+                "server-side p50/p95/p99 estimates).", latency_lines,
+            ),
+            (
+                "repro_queries_total", "counter",
+                "Queries evaluated by the service (batch members included).",
+                [prometheus_line("repro_queries_total", stats["queries"])],  # type: ignore[arg-type]
+            ),
+            (
+                "repro_batches_total", "counter",
+                "run_many batches executed by the service.",
+                [prometheus_line("repro_batches_total", stats["batches"])],  # type: ignore[arg-type]
+            ),
+            (
+                "repro_cache_lookups_total", "counter",
+                "Cache lookups and hits, by cache layer.", cache_lines,
+            ),
+            (
+                "repro_cache_hit_rate", "gauge",
+                "Hit rate per cache layer (0 when never probed).", hit_rate_lines,
+            ),
+            (
+                "repro_index_probes_total", "counter",
+                "Index lookups and actual B+Tree descents.",
+                [
+                    prometheus_line("repro_index_probes_total", probes["gets"]),  # type: ignore[index]
+                    prometheus_line("repro_index_tree_descents_total", probes["tree_descents"]),  # type: ignore[index]
+                ],
+            ),
+        ]
+        if batcher is not None:
+            families.append((
+                "repro_batcher_flushes_total", "counter",
+                "Micro-batch flushes executed and queries they carried.",
+                [
+                    prometheus_line("repro_batcher_flushes_total", batcher.flushes),
+                    prometheus_line("repro_batcher_queries_total", batcher.queries_batched),
+                ],
+            ))
+        return render_families(families)
+
+
+class QueryServer:
+    """The asyncio HTTP server over one open query service."""
+
+    def __init__(
+        self,
+        service: QueryService,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        flush_window: float = 0.002,
+        max_batch: int = 64,
+        max_workers: int = 4,
+        index_path: Optional[str] = None,
+    ):
+        if not 0 <= port <= 65535:
+            raise ValueError(f"port must be in 0..65535, got {port}")
+        if max_workers < 1:
+            raise ValueError(f"max workers must be >= 1, got {max_workers}")
+        self.service = service
+        self.host = host
+        self.port = port  # 0 = ephemeral; replaced by the bound port on start()
+        self.flush_window = flush_window
+        self.max_batch = max_batch
+        self.max_workers = max_workers
+        self.index_path = index_path
+        self.metrics = ServerMetrics()
+        self.flavor = service_flavor(service)
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._executor: Optional[ThreadPoolExecutor] = None
+        self._batcher: Optional[MicroBatcher] = None
+        self._connections: set = set()
+        self._started_at = 0.0
+
+    @property
+    def url(self) -> str:
+        """The served base URL (valid after :meth:`start`)."""
+        return f"http://{self.host}:{self.port}"
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> "QueryServer":
+        """Bind the listening socket and start accepting connections."""
+        if self._server is not None:
+            raise RuntimeError("server is already running")
+        self._executor = ThreadPoolExecutor(
+            max_workers=self.max_workers, thread_name_prefix="repro-serve"
+        )
+        self._batcher = MicroBatcher(
+            self.service, self._executor, flush_window=self.flush_window, max_batch=self.max_batch
+        )
+        self._server = await asyncio.start_server(self._handle_connection, self.host, self.port)
+        self.port = self._server.sockets[0].getsockname()[1]
+        self._started_at = time.time()
+        return self
+
+    async def stop(self) -> None:
+        """Stop accepting, drain pending batches, shut the pool down."""
+        if self._server is None:
+            return
+        self._server.close()
+        await self._server.wait_closed()
+        self._server = None
+        # Idle keep-alive connections sit in readline() forever; cancel them
+        # so no task outlives the loop.
+        for task in list(self._connections):
+            task.cancel()
+        if self._connections:
+            await asyncio.gather(*self._connections, return_exceptions=True)
+        if self._batcher is not None:
+            await self._batcher.drain()
+            self._batcher = None
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
+
+    async def serve_forever(self) -> None:
+        """Start (if needed) and serve until cancelled."""
+        if self._server is None:
+            await self.start()
+        assert self._server is not None
+        try:
+            await self._server.serve_forever()
+        except asyncio.CancelledError:
+            pass
+        finally:
+            await self.stop()
+
+    # ------------------------------------------------------------------
+    # HTTP plumbing
+    # ------------------------------------------------------------------
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._connections.add(task)
+        try:
+            while True:
+                request = await self._read_request(reader)
+                if request is None:
+                    break
+                method, path, keep_alive, body = request
+                started = time.perf_counter()
+                status, content_type, payload = await self._dispatch(method, path, body)
+                self.metrics.for_endpoint(path).record(status, time.perf_counter() - started)
+                writer.write(self._encode_response(status, content_type, payload, keep_alive))
+                await writer.drain()
+                if not keep_alive:
+                    break
+        except (ConnectionError, asyncio.IncompleteReadError, asyncio.LimitOverrunError):
+            pass  # client went away or sent garbage beyond limits; drop the connection
+        finally:
+            if task is not None:
+                self._connections.discard(task)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):  # pragma: no cover - platform dependent
+                pass
+
+    async def _read_request(
+        self, reader: asyncio.StreamReader
+    ) -> Optional[Tuple[str, str, bool, bytes]]:
+        """Parse one request; None on a cleanly closed connection."""
+        request_line = await reader.readline()
+        if not request_line or not request_line.strip():
+            return None
+        parts = request_line.decode("latin-1").split()
+        if len(parts) != 3:
+            return ("GET", "/_malformed", False, b"")
+        method, target, version = parts
+        headers: Dict[str, str] = {}
+        while True:
+            line = await reader.readline()
+            if line in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = line.decode("latin-1").partition(":")
+            headers[name.strip().lower()] = value.strip()
+        try:
+            length = int(headers.get("content-length", "0"))
+        except ValueError:
+            length = 0
+        body = await reader.readexactly(length) if length > 0 else b""
+        path = target.split("?", 1)[0]
+        connection = headers.get("connection", "").lower()
+        keep_alive = version != "HTTP/1.0" and connection != "close"
+        return method.upper(), path, keep_alive, body
+
+    def _encode_response(
+        self, status: int, content_type: str, payload: bytes, keep_alive: bool
+    ) -> bytes:
+        reason = _STATUS_REASONS.get(status, "Unknown")
+        head = (
+            f"HTTP/1.1 {status} {reason}\r\n"
+            f"Content-Type: {content_type}\r\n"
+            f"Content-Length: {len(payload)}\r\n"
+            f"Connection: {'keep-alive' if keep_alive else 'close'}\r\n"
+            "\r\n"
+        )
+        return head.encode("latin-1") + payload
+
+    # ------------------------------------------------------------------
+    # Routing and handlers
+    # ------------------------------------------------------------------
+    async def _dispatch(self, method: str, path: str, body: bytes) -> Tuple[int, str, bytes]:
+        try:
+            if path == "/query":
+                if method != "POST":
+                    return self._json_error(405, "POST a JSON body to /query")
+                return await self._handle_query(body)
+            if path == "/query/batch":
+                if method != "POST":
+                    return self._json_error(405, "POST a JSON body to /query/batch")
+                return await self._handle_batch(body)
+            if path == "/stats":
+                if method != "GET":
+                    return self._json_error(405, "/stats is GET-only")
+                return self._handle_stats()
+            if path == "/healthz":
+                if method != "GET":
+                    return self._json_error(405, "/healthz is GET-only")
+                return self._handle_healthz()
+            if path == "/metrics":
+                if method != "GET":
+                    return self._json_error(405, "/metrics is GET-only")
+                return self._handle_metrics()
+            return self._json_error(404, f"unknown path {path!r} (endpoints: {', '.join(ENDPOINTS)})")
+        except BadRequest as error:
+            return self._json_error(400, str(error))
+        except Exception as error:  # noqa: BLE001 - the server must not die on a handler bug
+            return self._json_error(500, f"internal error: {error}")
+
+    def _json_error(self, status: int, message: str) -> Tuple[int, str, bytes]:
+        return status, _JSON, json.dumps({"error": message}).encode("utf-8")
+
+    def _json_ok(self, payload: Dict[str, object]) -> Tuple[int, str, bytes]:
+        return 200, _JSON, json.dumps(payload).encode("utf-8")
+
+    @staticmethod
+    def _parse_json(body: bytes) -> Dict[str, object]:
+        try:
+            parsed = json.loads(body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as error:
+            raise BadRequest(f"request body is not valid JSON: {error}") from error
+        if not isinstance(parsed, dict):
+            raise BadRequest("request body must be a JSON object")
+        return parsed
+
+    def _prepare_or_400(self, text: object) -> str:
+        """Validate one query string (plans are cached, so nothing is wasted)."""
+        if not isinstance(text, str) or not text.strip():
+            raise BadRequest("'query' must be a non-empty string")
+        try:
+            self.service.prepare(text)
+        except ValueError as error:
+            raise BadRequest(f"cannot parse query {text!r}: {error}") from error
+        return text
+
+    async def _handle_query(self, body: bytes) -> Tuple[int, str, bytes]:
+        payload = self._parse_json(body)
+        if "query" not in payload:
+            raise BadRequest("missing 'query' field")
+        text = self._prepare_or_400(payload["query"])
+        loop = asyncio.get_running_loop()
+        assert self._executor is not None
+        result = await loop.run_in_executor(self._executor, self.service.run, text)
+        return self._json_ok({"query": text, "result": result_to_dict(result)})
+
+    async def _handle_batch(self, body: bytes) -> Tuple[int, str, bytes]:
+        payload = self._parse_json(body)
+        if "queries" not in payload or not isinstance(payload["queries"], list):
+            raise BadRequest("missing 'queries' field (a JSON list of query strings)")
+        texts = [self._prepare_or_400(text) for text in payload["queries"]]
+        assert self._batcher is not None
+        results = await self._batcher.submit(texts)
+        return self._json_ok({
+            "count": len(results),
+            "results": [
+                {"query": text, "result": result_to_dict(result)}
+                for text, result in zip(texts, results)
+            ],
+        })
+
+    def _handle_stats(self) -> Tuple[int, str, bytes]:
+        stats = self.service.stats().as_dict()
+        server_block: Dict[str, object] = {
+            "uptime_seconds": time.time() - self._started_at,
+            "endpoints": {
+                path: {
+                    "requests": endpoint.requests,
+                    "errors": endpoint.errors,
+                    "latency": endpoint.latency.percentiles(),
+                }
+                for path, endpoint in self.metrics.endpoints.items()
+            },
+        }
+        if self._batcher is not None:
+            server_block["batcher"] = {
+                "flushes": self._batcher.flushes,
+                "queries_batched": self._batcher.queries_batched,
+                "flush_window": self._batcher.flush_window,
+                "max_batch": self._batcher.max_batch,
+            }
+        return self._json_ok({"flavor": self.flavor, "service": stats, "server": server_block})
+
+    def _handle_healthz(self) -> Tuple[int, str, bytes]:
+        return self._json_ok({
+            "status": "ok",
+            "flavor": self.flavor,
+            "index": self.index_path,
+            "uptime_seconds": time.time() - self._started_at,
+        })
+
+    def _handle_metrics(self) -> Tuple[int, str, bytes]:
+        body = self.metrics.render(self.service, self._batcher)
+        return 200, _PROMETHEUS, body.encode("utf-8")
+
+
+# ----------------------------------------------------------------------
+# Running a server from synchronous code (tests, loadgen, examples)
+# ----------------------------------------------------------------------
+class ServerThread:
+    """Runs a :class:`QueryServer` on its own event loop in a daemon thread.
+
+    The constructor arguments are those of :class:`QueryServer`.  ``start``
+    blocks until the socket is bound (so ``url`` is valid) and re-raises
+    any bind error in the caller's thread; ``stop`` shuts the loop down and
+    joins the thread.  The service is NOT owned: close it after ``stop``.
+    """
+
+    def __init__(self, service: QueryService, **kwargs: object):
+        self._server = QueryServer(service, **kwargs)  # type: ignore[arg-type]
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._thread: Optional[threading.Thread] = None
+        self._ready = threading.Event()
+        self._startup_error: Optional[BaseException] = None
+
+    @property
+    def server(self) -> QueryServer:
+        return self._server
+
+    @property
+    def url(self) -> str:
+        return self._server.url
+
+    @property
+    def port(self) -> int:
+        return self._server.port
+
+    def start(self, timeout: float = 10.0) -> "ServerThread":
+        self._thread = threading.Thread(target=self._run, name="repro-serve-loop", daemon=True)
+        self._thread.start()
+        if not self._ready.wait(timeout):  # pragma: no cover - defensive
+            raise RuntimeError("server failed to start within the timeout")
+        if self._startup_error is not None:
+            self._thread.join()
+            raise self._startup_error
+        return self
+
+    def _run(self) -> None:
+        loop = asyncio.new_event_loop()
+        asyncio.set_event_loop(loop)
+        self._loop = loop
+        stop_signal = loop.create_future()
+        self._stop_signal = stop_signal
+        try:
+            loop.run_until_complete(self._server.start())
+        except BaseException as error:  # bind failures surface in start()
+            self._startup_error = error
+            self._ready.set()
+            loop.close()
+            return
+        self._ready.set()
+        try:
+            loop.run_until_complete(stop_signal)
+            loop.run_until_complete(self._server.stop())
+        finally:
+            loop.close()
+
+    def stop(self) -> None:
+        loop = self._loop
+        if loop is None or not self._thread or not self._thread.is_alive():
+            return
+        loop.call_soon_threadsafe(
+            lambda: self._stop_signal.done() or self._stop_signal.set_result(None)
+        )
+        self._thread.join(timeout=10.0)
+        self._loop = None
+
+    def __enter__(self) -> "ServerThread":
+        return self.start()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()
+
+
+def open_server(index_path: str, **kwargs: object) -> Tuple[QueryService, ServerThread]:
+    """Open *index_path* for serving and start a background server over it.
+
+    Returns ``(service, running ServerThread)``; the caller stops the
+    thread first, then closes the service.  Dispatches on the manifest like
+    :meth:`QueryService.open`, so plain, sharded and live indexes all work.
+    """
+    service = QueryService.open(index_path)
+    try:
+        thread = ServerThread(service, index_path=index_path, **kwargs).start()
+    except BaseException:
+        service.close()
+        raise
+    return service, thread

@@ -57,6 +57,18 @@ class LiveServiceStats(ServiceStats):
     #: Times a version change forced a cache invalidation.
     invalidations: int = 0
 
+    def extras_dict(self) -> Dict[str, object]:
+        """The mutation-side state, added under its own key (core shape untouched)."""
+        return {
+            "live": {
+                "epoch": self.epoch,
+                "delta_trees": self.delta_trees,
+                "tombstones": self.tombstones,
+                "wal_ops": self.wal_ops,
+                "invalidations": self.invalidations,
+            },
+        }
+
 
 class LiveQueryService(QueryService):
     """Cached, batched serving over a :class:`~repro.live.live.LiveIndex`.

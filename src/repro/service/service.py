@@ -97,6 +97,49 @@ class ServiceStats:
     results: CacheStats = field(default_factory=CacheStats)
     probes: ProbeStats = field(default_factory=ProbeStats)
 
+    def as_dict(self) -> Dict[str, object]:
+        """The merged, flavor-independent dict shape of these counters.
+
+        All three service flavors (plain / sharded / live) emit exactly
+        these keys -- the ``/stats`` endpoint and the metrics exporter rely
+        on the shape being identical, so they never branch per flavor.
+        Subclasses add their flavor-specific state under *additional* keys
+        (see :meth:`extras_dict`) without touching this core shape.
+        """
+        payload: Dict[str, object] = {
+            "queries": self.queries,
+            "batches": self.batches,
+            "batch_keys_deduped": self.batch_keys_deduped,
+            "caches": {
+                name: {
+                    "hits": cache.hits,
+                    "misses": cache.misses,
+                    "lookups": cache.lookups,
+                    "evictions": cache.evictions,
+                    "size": cache.size,
+                    "capacity": cache.capacity,
+                    "hit_rate": cache.hit_rate,
+                }
+                for name, cache in (
+                    ("plans", self.plans),
+                    ("postings", self.postings),
+                    ("results", self.results),
+                )
+            },
+            "probes": {
+                "gets": self.probes.gets,
+                "cache_hits": self.probes.cache_hits,
+                "tree_descents": self.probes.tree_descents,
+                "hit_rate": self.probes.hit_rate,
+            },
+        }
+        payload.update(self.extras_dict())
+        return payload
+
+    def extras_dict(self) -> Dict[str, object]:
+        """Flavor-specific additions to :meth:`as_dict` (none for plain)."""
+        return {}
+
 
 class QueryService:
     """Serves repeated and concurrent queries over one open index.

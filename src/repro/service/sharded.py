@@ -62,6 +62,21 @@ class ShardedServiceStats(ServiceStats):
 
     per_shard: List[ShardLayerStats] = field(default_factory=list)
 
+    def extras_dict(self) -> Dict[str, object]:
+        """The per-shard split, added under its own key (core shape untouched)."""
+        return {
+            "shards": [
+                {
+                    "shard_id": layer.shard_id,
+                    "postings_hits": layer.postings.hits,
+                    "postings_lookups": layer.postings.lookups,
+                    "probe_gets": layer.probes.gets,
+                    "tree_descents": layer.probes.tree_descents,
+                }
+                for layer in self.per_shard
+            ],
+        }
+
 
 class ShardedQueryService(QueryService):
     """Cached, batched, thread-safe serving over a sharded index.

@@ -1,0 +1,109 @@
+"""Unit tests of the micro-batcher (no HTTP, no real index)."""
+
+from __future__ import annotations
+
+import asyncio
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro.serve.batch import MicroBatcher
+
+
+class FakeService:
+    """Records run_many batches; results are derived from the query text."""
+
+    def __init__(self, error: Exception = None):
+        self.calls = []
+        self.error = error
+
+    def run_many(self, texts):
+        self.calls.append(list(texts))
+        if self.error is not None:
+            raise self.error
+        return [f"result:{text}" for text in texts]
+
+
+def run(coroutine):
+    return asyncio.run(coroutine)
+
+
+@pytest.fixture()
+def executor():
+    with ThreadPoolExecutor(max_workers=2) as pool:
+        yield pool
+
+
+class TestMicroBatcher:
+    def test_one_submission_flushes_as_one_batch(self, executor) -> None:
+        service = FakeService()
+        batcher = MicroBatcher(service, executor, flush_window=0.0)
+
+        results = run(batcher.submit(["a", "b", "a"]))
+        assert results == ["result:a", "result:b", "result:a"]
+        assert service.calls == [["a", "b", "a"]]
+        assert batcher.flushes == 1
+        assert batcher.queries_batched == 3
+
+    def test_concurrent_submissions_coalesce_into_one_run_many(self, executor) -> None:
+        service = FakeService()
+        batcher = MicroBatcher(service, executor, flush_window=0.01)
+
+        async def scenario():
+            return await asyncio.gather(
+                batcher.submit(["a", "b"]), batcher.submit(["c"]), batcher.submit(["d"])
+            )
+
+        first, second, third = run(scenario())
+        assert first == ["result:a", "result:b"]
+        assert second == ["result:c"]
+        assert third == ["result:d"]
+        # All three awaiters landed inside one flush window.
+        assert service.calls == [["a", "b", "c", "d"]]
+        assert batcher.flushes == 1
+
+    def test_max_batch_flushes_immediately(self, executor) -> None:
+        service = FakeService()
+        batcher = MicroBatcher(service, executor, flush_window=10.0, max_batch=2)
+        # A window of 10 s would hang the test if the size trigger failed.
+        results = run(batcher.submit(["a", "b"]))
+        assert results == ["result:a", "result:b"]
+        assert service.calls == [["a", "b"]]
+
+    def test_empty_submission_short_circuits(self, executor) -> None:
+        service = FakeService()
+        batcher = MicroBatcher(service, executor, flush_window=0.0)
+        assert run(batcher.submit([])) == []
+        assert service.calls == []
+        assert batcher.flushes == 0
+
+    def test_service_error_fails_every_awaiter(self, executor) -> None:
+        service = FakeService(error=RuntimeError("store is gone"))
+        batcher = MicroBatcher(service, executor, flush_window=0.0)
+
+        async def scenario():
+            with pytest.raises(RuntimeError, match="store is gone"):
+                await batcher.submit(["a"])
+
+        run(scenario())
+
+    def test_drain_flushes_pending_work(self, executor) -> None:
+        service = FakeService()
+        batcher = MicroBatcher(service, executor, flush_window=60.0)
+
+        async def scenario():
+            # Submit without awaiting, then drain: the pending batch must be
+            # executed (shutdown never strands queued queries).
+            task = asyncio.ensure_future(batcher.submit(["a"]))
+            await asyncio.sleep(0)  # let submit() enqueue
+            await batcher.drain()
+            return await task
+
+        assert run(scenario()) == ["result:a"]
+        assert service.calls == [["a"]]
+
+    def test_invalid_knobs_rejected(self, executor) -> None:
+        with pytest.raises(ValueError, match="flush window"):
+            MicroBatcher(FakeService(), executor, flush_window=-0.001)
+        with pytest.raises(ValueError, match="max batch"):
+            MicroBatcher(FakeService(), executor, max_batch=0)

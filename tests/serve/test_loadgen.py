@@ -1,0 +1,105 @@
+"""Tests of the closed-loop load generator against a real served index."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core.index import SubtreeIndex
+from repro.serve.loadgen import LoadgenReport, parse_base_url, run_load
+from repro.serve.server import open_server, result_to_dict
+
+QUERIES = ["NP(DT)(NN)", "VP(VBZ)", "S(NP)(VP)"]
+
+
+@pytest.fixture(scope="module")
+def served(tmp_path_factory, small_corpus):
+    path = str(tmp_path_factory.mktemp("loadgen") / "corpus.si")
+    SubtreeIndex.build(small_corpus, mss=3, coding="root-split", path=path).close()
+    service, thread = open_server(path)
+    try:
+        yield service, thread.url
+    finally:
+        thread.stop()
+        service.close()
+
+
+class TestParseBaseUrl:
+    def test_host_and_port(self) -> None:
+        assert parse_base_url("http://127.0.0.1:8321") == ("127.0.0.1", 8321)
+        assert parse_base_url("http://localhost") == ("localhost", 80)
+        assert parse_base_url("127.0.0.1:9000") == ("127.0.0.1", 9000)
+
+    def test_rejects_non_http_and_hostless(self) -> None:
+        with pytest.raises(ValueError, match="http"):
+            parse_base_url("ftp://example.com")
+        with pytest.raises(ValueError, match="host"):
+            parse_base_url("http://")
+
+
+class TestRunLoad:
+    def test_closed_loop_reports_throughput_and_latency(self, served) -> None:
+        service, url = served
+        report = run_load(url, QUERIES, concurrency=2, duration=0.4)
+        assert report.concurrency == 2
+        assert report.duration_seconds == pytest.approx(0.4, abs=0.3)
+        assert report.requests > 0
+        assert report.errors == 0
+        assert report.qps > 0
+        assert len(report.latencies) == report.requests
+        assert report.latencies == sorted(report.latencies)
+        latency = report.percentiles_ms()
+        assert latency["p50"] <= latency["p95"] <= latency["p99"]
+
+    def test_expected_payloads_verify_clean(self, served) -> None:
+        service, url = served
+        expected = {
+            text: json.loads(json.dumps(result_to_dict(service.run(text))))
+            for text in QUERIES
+        }
+        report = run_load(url, QUERIES, concurrency=1, duration=0.3, expected=expected)
+        assert report.requests > 0
+        assert report.mismatches == 0
+
+    def test_wrong_expectations_are_counted_as_mismatches(self, served) -> None:
+        _, url = served
+        wrong = {text: {"total_matches": -1} for text in QUERIES}
+        report = run_load(url, QUERIES, concurrency=1, duration=0.2, expected=wrong)
+        assert report.mismatches == report.requests > 0
+
+    def test_connection_refused_raises_instead_of_empty_report(self) -> None:
+        with pytest.raises(OSError):
+            run_load("http://127.0.0.1:9", QUERIES, concurrency=1, duration=0.2)
+
+    def test_invalid_arguments_rejected(self, served) -> None:
+        _, url = served
+        with pytest.raises(ValueError, match="concurrency"):
+            run_load(url, QUERIES, concurrency=0, duration=0.2)
+        with pytest.raises(ValueError, match="duration"):
+            run_load(url, QUERIES, concurrency=1, duration=0.0)
+        with pytest.raises(ValueError, match="query mix"):
+            run_load(url, [], concurrency=1, duration=0.2)
+
+
+class TestLoadgenReport:
+    def test_empty_report_degrades_gracefully(self) -> None:
+        report = LoadgenReport(
+            concurrency=1, duration_seconds=0.0, requests=0, errors=0, mismatches=0
+        )
+        assert report.qps == 0.0
+        assert report.percentile(0.5) is None
+        assert report.percentiles_ms() == {"p50": None, "p95": None, "p99": None}
+
+    def test_as_dict_is_json_friendly(self) -> None:
+        report = LoadgenReport(
+            concurrency=2,
+            duration_seconds=1.0,
+            requests=2,
+            errors=0,
+            mismatches=0,
+            latencies=[0.001, 0.003],
+        )
+        payload = json.loads(json.dumps(report.as_dict()))
+        assert payload["qps"] == 2.0
+        assert payload["latency_ms"]["p50"] == pytest.approx(2.0)

@@ -411,3 +411,98 @@ class TestQuery:
         main(["build", corpus_file, "--coding", "filter", "--out", out])
         assert main(["query", out, "S(NP)(VP)"]) == 0
         assert "matches" in capsys.readouterr().out
+
+
+class TestServeValidation:
+    def test_missing_index_is_friendly(self, tmp_path, capsys) -> None:
+        assert main(["serve", str(tmp_path / "nope.si")]) == 2
+        assert "cannot open index" in capsys.readouterr().err
+
+    def test_corrupt_index_is_friendly(self, tmp_path, capsys) -> None:
+        path = str(tmp_path / "corrupt.si")
+        with open(path, "wb") as handle:
+            handle.write(b"not an index at all")
+        assert main(["serve", path]) == 2
+        assert "cannot open index" in capsys.readouterr().err
+
+    def test_invalid_port_is_friendly(self, index_file, capsys) -> None:
+        assert main(["serve", index_file, "--port", "99999"]) == 2
+        assert "--port must be in 0..65535" in capsys.readouterr().err
+        assert main(["serve", index_file, "--port", "-1"]) == 2
+        assert "--port" in capsys.readouterr().err
+
+    def test_invalid_server_knobs_are_friendly(self, index_file, capsys) -> None:
+        assert main(["serve", index_file, "--flush-window", "-0.5"]) == 2
+        assert "--flush-window" in capsys.readouterr().err
+        assert main(["serve", index_file, "--max-batch", "0"]) == 2
+        assert "--max-batch" in capsys.readouterr().err
+        assert main(["serve", index_file, "--workers", "0"]) == 2
+        assert "--workers" in capsys.readouterr().err
+
+
+class TestLoadtest:
+    def test_loadtest_writes_schema_valid_bench_artifact(
+        self, index_file, tmp_path, capsys
+    ) -> None:
+        out = str(tmp_path / "results")
+        assert main([
+            "loadtest", index_file,
+            "--concurrency", "1", "2",
+            "--duration", "0.3",
+            "--out", out,
+        ]) == 0
+        captured = capsys.readouterr()
+        assert "0 mismatches" in captured.out
+        assert "wrote" in captured.out
+
+        from repro.bench.schema import validate_document
+
+        with open(f"{out}/BENCH_serve_http_throughput.json", encoding="utf-8") as handle:
+            document = json.load(handle)
+        assert validate_document(document) == []
+        assert document["experiment"] == "serve_http_throughput"
+        assert document["config"]["params"]["index"] == index_file
+        columns = document["result"]["columns"]
+        for column in ("concurrency", "qps", "p50_ms", "p95_ms", "p99_ms"):
+            assert column in columns
+        assert [row[columns.index("concurrency")] for row in document["result"]["rows"]] == [1, 2]
+        mismatches = columns.index("mismatches")
+        assert all(row[mismatches] == 0 for row in document["result"]["rows"])
+
+    def test_loadtest_against_external_url(self, index_file, tmp_path, capsys) -> None:
+        from repro.serve.server import open_server
+
+        service, thread = open_server(index_file)
+        try:
+            out = str(tmp_path / "results")
+            assert main([
+                "loadtest", index_file,
+                "--url", thread.url,
+                "--concurrency", "1",
+                "--duration", "0.2",
+                "--out", out,
+            ]) == 0
+        finally:
+            thread.stop()
+            service.close()
+        captured = capsys.readouterr()
+        assert "0 mismatches" in captured.out
+
+    def test_unreachable_url_is_friendly(self, index_file, tmp_path, capsys) -> None:
+        assert main([
+            "loadtest", index_file,
+            "--url", "http://127.0.0.1:9",
+            "--duration", "0.2",
+            "--out", str(tmp_path),
+        ]) == 2
+        assert "load test against" in capsys.readouterr().err
+
+    def test_invalid_arguments_are_friendly(self, index_file, tmp_path, capsys) -> None:
+        assert main(["loadtest", index_file, "--concurrency", "0"]) == 2
+        assert "--concurrency" in capsys.readouterr().err
+        assert main(["loadtest", index_file, "--duration", "0"]) == 2
+        assert "--duration" in capsys.readouterr().err
+        assert main(["loadtest", index_file, "--url", "ftp://x"]) == 2
+        assert "http" in capsys.readouterr().err
+        assert main(["loadtest", str(tmp_path / "nope.si")]) == 2
+        assert "cannot open index" in capsys.readouterr().err

@@ -137,6 +137,45 @@ def test_readme_live_session(workdir) -> None:
     assert "join phase not executed" in explain.stdout
 
 
+def test_readme_serving_session(workdir) -> None:
+    """Step 7 of the README quickstart: serve over HTTP, then load-test it."""
+    import json
+    import urllib.request
+
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src") + os.pathsep + env.get("PYTHONPATH", "")
+    # Foreground server on an ephemeral port (the README shows --port 8321;
+    # port 0 keeps the test safe to run concurrently).
+    server = subprocess.Popen(
+        [sys.executable, "-u", "-m", "repro.cli", "serve", "corpus.si", "--port", "0"],
+        cwd=workdir,
+        env=env,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        text=True,
+    )
+    try:
+        banner = server.stdout.readline()
+        assert "serving plain index 'corpus.si' on http://" in banner, banner
+        url = banner.rsplit(" on ", 1)[1].strip()
+        with urllib.request.urlopen(url + "/healthz", timeout=10) as response:
+            assert json.load(response)["status"] == "ok"
+    finally:
+        server.terminate()
+        server.wait(timeout=10)
+
+    # Self-served load test, as in the README (shorter duration for CI).
+    loadtest = run_cli(
+        "loadtest", "corpus.si", "--concurrency", "1", "2",
+        "--duration", "0.3", "--out", "results", cwd=workdir,
+    )
+    assert loadtest.returncode == 0, loadtest.stderr
+    assert "concurrency 1:" in loadtest.stdout
+    assert "concurrency 2:" in loadtest.stdout
+    assert "0 mismatches" in loadtest.stdout
+    assert (Path(workdir) / "results" / "BENCH_serve_http_throughput.json").exists()
+
+
 def test_malformed_query_fails_cleanly(workdir) -> None:
     """A malformed query exits non-zero with a message, never a traceback."""
     result = run_cli("query", "corpus.si", "NP(((", cwd=workdir)
