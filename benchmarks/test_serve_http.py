@@ -19,6 +19,11 @@ def test_serve_http_throughput(runner) -> None:
         assert row["requests"] > 0, row
         assert row["qps"] > 0, row
         assert row["p50_ms"] <= row["p95_ms"] <= row["p99_ms"], row
+        # The traced pass answers the same load with request tracing on;
+        # it must still complete (its errors/mismatches are summed into
+        # the exact columns above) and the overhead column must agree.
+        assert row["qps_traced"] > 0, row
+        assert row["trace_overhead_pct"] < 100.0, row
 
         if timing_bars_enabled():
             # Little's law sanity check of the closed loop: with N clients

@@ -15,6 +15,7 @@ import os
 import time
 from typing import Dict, Iterable, List, Sequence, Tuple
 
+from repro import obs
 from repro.bench.context import ExperimentContext
 from repro.bench.results import ExperimentResult
 from repro.coding import get_coding
@@ -692,6 +693,8 @@ def serve_http_throughput(
             "errors",
             "mismatches",
             "qps",
+            "qps_traced",
+            "trace_overhead_pct",
             "p50_ms",
             "p95_ms",
             "p99_ms",
@@ -717,14 +720,37 @@ def serve_http_throughput(
                     duration=duration_seconds,
                     expected=expected,
                 )
+                # Same load with request tracing on, to price the observable
+                # path.  The server checks the global flag per request, so no
+                # restart is needed; errors/mismatches from both passes land
+                # in the same exact-gated columns.
+                owned_tracer = not obs.enabled()
+                if owned_tracer:
+                    obs.enable(obs.Tracer(capacity=256))
+                try:
+                    traced = run_load(
+                        thread.url,
+                        texts,
+                        concurrency=concurrency,
+                        duration=duration_seconds,
+                        expected=expected,
+                    )
+                finally:
+                    if owned_tracer:
+                        obs.disable()
+                overhead_pct = (
+                    (report.qps - traced.qps) / report.qps * 100.0 if report.qps else 0.0
+                )
                 latency = report.percentiles_ms()
                 result.add_row(
                     concurrency,
                     report.duration_seconds,
                     report.requests,
-                    report.errors,
-                    report.mismatches,
+                    report.errors + traced.errors,
+                    report.mismatches + traced.mismatches,
                     report.qps,
+                    traced.qps,
+                    round(overhead_pct, 2),
                     latency["p50"],
                     latency["p95"],
                     latency["p99"],
@@ -735,7 +761,9 @@ def serve_http_throughput(
         index.attach_postings_cache(None)
     result.add_note(
         "closed loop: each client issues its next query only after the previous "
-        "response; mismatches counts responses that differ from QueryService.run"
+        "response; mismatches counts responses that differ from QueryService.run "
+        "(untraced and traced passes summed); qps_traced repeats the run with "
+        "request tracing enabled"
     )
     return result
 

@@ -231,6 +231,8 @@ register(ExperimentConfig(
         "duration_seconds",
         "requests",
         "qps",
+        "qps_traced",
+        "trace_overhead_pct",
         "p50_ms",
         "p95_ms",
         "p99_ms",

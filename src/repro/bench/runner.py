@@ -23,6 +23,7 @@ import time
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple, Union
 
+from repro import obs
 from repro.bench.config import ExperimentConfig
 from repro.bench.context import ExperimentContext
 from repro.bench.registry import get_config, run_config
@@ -36,6 +37,11 @@ SCALE_ENV_VAR = "REPRO_BENCH_SCALE"
 def json_filename(name: str) -> str:
     """The machine-readable artefact name of experiment *name*."""
     return f"BENCH_{name}.json"
+
+
+def trace_filename(name: str) -> str:
+    """The per-stage trace artefact name of experiment *name*."""
+    return f"TRACE_{name}.json"
 
 
 def capture_environment() -> Dict[str, object]:
@@ -132,6 +138,8 @@ class RunReport:
     #: Artefact paths (None when the runner writes no files).
     json_path: Optional[str] = None
     text_path: Optional[str] = None
+    #: ``TRACE_<name>.json`` path (None unless the runner traces).
+    trace_path: Optional[str] = None
 
 
 class ExperimentRunner:
@@ -143,6 +151,7 @@ class ExperimentRunner:
         out_dir: Optional[str] = None,
         seed: int = 17,
         scale: Optional[float] = None,
+        trace: bool = False,
     ) -> None:
         self._owns_workdir = workdir is None
         if workdir is None:
@@ -158,6 +167,7 @@ class ExperimentRunner:
         if scale <= 0:
             raise ValueError(f"scale must be positive, got {scale}")
         self.scale = scale
+        self.trace = trace
         self.context = ExperimentContext(workdir=workdir, seed=seed)
 
     # ------------------------------------------------------------------
@@ -187,8 +197,18 @@ class ExperimentRunner:
 
         for _ in range(config.warmup):
             run_config(config, self.context)
+        # Warmups run untraced: the trace artefact describes the measured
+        # run only.  An externally enabled tracer is left alone (and its
+        # ring is not dumped -- it is not ours).
+        tracer: Optional[obs.Tracer] = None
+        if self.trace and not obs.enabled():
+            tracer = obs.enable(obs.Tracer(capacity=4096))
         started = time.perf_counter()
-        result = run_config(config, self.context)
+        try:
+            result = run_config(config, self.context)
+        finally:
+            if tracer is not None:
+                obs.disable()
         wall_seconds = time.perf_counter() - started
 
         document = build_document(
@@ -206,6 +226,22 @@ class ExperimentRunner:
             report.text_path, report.json_path = write_artifacts(
                 self.out_dir, config, result, document
             )
+            if tracer is not None:
+                from repro.obs.sinks import write_chrome_trace
+
+                records = tracer.last(len(tracer.recent))
+                report.trace_path = os.path.join(
+                    self.out_dir, trace_filename(config.name)
+                )
+                write_chrome_trace(
+                    report.trace_path,
+                    records,
+                    metadata={
+                        "reproExperiment": config.name,
+                        "reproTraceCount": len(records),
+                        "reproStageTotals": obs.stage_totals(records),
+                    },
+                )
         return report
 
     def run_many(

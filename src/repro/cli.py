@@ -65,6 +65,7 @@ import sys
 import time
 from typing import List, Optional, Sequence
 
+from repro import obs
 from repro.coding.base import coding_names
 from repro.core.index import SubtreeIndex
 from repro.corpus.generator import CorpusGenerator
@@ -202,6 +203,10 @@ def cmd_query(args: argparse.Namespace) -> int:
     if args.explain and (args.batch or args.repeat > 1):
         print("error: --explain cannot be combined with --batch/--repeat", file=sys.stderr)
         return 2
+    if args.trace and args.explain:
+        print("error: --trace cannot be combined with --explain "
+              "(--explain does not execute the query)", file=sys.stderr)
+        return 2
     try:
         # With --repeat the point is to measure the plan+posting caches, so
         # disable the result cache; otherwise every repeat after the first
@@ -224,6 +229,16 @@ def cmd_query(args: argparse.Namespace) -> int:
         else:
             valid.append(text)
 
+    tracer: Optional[obs.Tracer] = None
+    if args.trace:
+        tracer = obs.enable(obs.Tracer())
+
+    def print_last_trace() -> None:
+        if tracer is None:
+            return
+        for record in tracer.last(1):
+            print(obs.format_trace(record))
+
     try:
         if args.explain:
             for text in valid:
@@ -238,6 +253,7 @@ def cmd_query(args: argparse.Namespace) -> int:
             for text, result in zip(valid, results):
                 _print_result(args, text, result)
             print(f"batch: {len(valid)} queries in {batch_ms:.1f} ms total")
+            print_last_trace()
         else:
             for text in valid:
                 result = service.run(text)
@@ -251,6 +267,9 @@ def cmd_query(args: argparse.Namespace) -> int:
                     _print_result(args, text, result, extra)
                 else:
                     _print_result(args, text, result)
+                # The most recent execution's span tree (with --repeat,
+                # that is the final warm run).
+                print_last_trace()
         if args.cache_stats:
             stats = service.stats()
             print(
@@ -264,6 +283,8 @@ def cmd_query(args: argparse.Namespace) -> int:
         print(f"error: {error}", file=sys.stderr)
         status = 2
     finally:
+        if tracer is not None:
+            obs.disable()
         service.close()
     return status
 
@@ -542,12 +563,19 @@ def cmd_serve(args: argparse.Namespace) -> int:
         max_batch=args.max_batch,
         max_workers=args.workers,
         index_path=args.index,
+        trace=args.trace,
+        trace_log=args.trace_log,
+        slow_ms=args.slow_ms,
     )
 
     async def _serve() -> None:
         await server.start()
         print(f"serving {service_flavor(service)} index {args.index!r} on {server.url}")
         print(f"endpoints: {', '.join(ENDPOINTS)} (ctrl-c to stop)")
+        if server.trace:
+            detail = f" -> {args.trace_log}" if args.trace_log else ""
+            slow = f", slow-query threshold {args.slow_ms} ms" if args.slow_ms is not None else ""
+            print(f"tracing: enabled{detail}{slow}")
         await server.serve_forever()
 
     try:
@@ -596,15 +624,23 @@ def cmd_loadtest(args: argparse.Namespace) -> int:
 
     # The registered experiment defines the column semantics (key columns,
     # gated metrics, timing columns); only the parameters differ -- the
-    # index under test comes from the user, not the bench context.
+    # index under test comes from the user, not the bench context.  The
+    # traced-pass columns stay out: tracing cannot be toggled in a server
+    # reached over --url, so the load test measures the untraced path only.
+    registered = get_config("serve_http_throughput")
     config = replace(
-        get_config("serve_http_throughput"),
+        registered,
         params={
             "index": args.index,
             "url": args.url,
             "concurrency_levels": tuple(args.concurrency),
             "duration_seconds": args.duration,
         },
+        timing_columns=tuple(
+            column
+            for column in registered.timing_columns
+            if column not in ("qps_traced", "trace_overhead_pct")
+        ),
     )
     result = ExperimentResult(
         name="Serve HTTP throughput",
@@ -714,7 +750,8 @@ def _bench_run(args: argparse.Namespace) -> int:
 
     names = args.names or experiment_names()
     runner = ExperimentRunner(
-        workdir=args.workdir, out_dir=args.out, seed=args.seed, scale=args.scale
+        workdir=args.workdir, out_dir=args.out, seed=args.seed, scale=args.scale,
+        trace=args.trace,
     )
     documents = []
     try:
@@ -727,9 +764,10 @@ def _bench_run(args: argparse.Namespace) -> int:
             documents.append(report.document)
             if args.json:
                 continue
+            trace_note = f" (+ {report.trace_path})" if report.trace_path else ""
             print(
                 f"{report.config.name}: {len(report.result.rows)} rows in "
-                f"{report.wall_seconds:.2f}s -> {report.json_path}"
+                f"{report.wall_seconds:.2f}s -> {report.json_path}{trace_note}"
             )
     finally:
         runner.close()
@@ -881,6 +919,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="print the decomposition/cover plan and per-stage posting counts "
              "without executing the join",
     )
+    query.add_argument(
+        "--trace", action="store_true",
+        help="trace each execution and print its per-stage span tree "
+             "(parse/decompose, fetch, join, filter) after the results",
+    )
     query.set_defaults(func=cmd_query)
 
     add = subparsers.add_parser("add", help="append trees to a live index")
@@ -939,6 +982,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", action="store_true",
         help="emit machine-readable JSON instead of human-readable output",
     )
+    bench.add_argument(
+        "--trace", action="store_true",
+        help="trace each measured run and write TRACE_<name>.json "
+             "(Chrome-trace format + per-stage totals) next to the bench artifacts",
+    )
     bench.set_defaults(func=cmd_bench)
 
     stats = subparsers.add_parser("stats", help="print statistics of a built index")
@@ -969,6 +1017,20 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument(
         "--workers", type=int, default=4,
         help="worker threads executing queries off the event loop (default: 4)",
+    )
+    serve.add_argument(
+        "--trace", action="store_true",
+        help="trace every request (adds /debug/trace and request-id tagging)",
+    )
+    serve.add_argument(
+        "--trace-log", default=None, metavar="PATH",
+        help="append one JSON line per request trace (and per 500 error) to PATH; "
+             "implies --trace",
+    )
+    serve.add_argument(
+        "--slow-ms", type=float, default=None, metavar="N",
+        help="log queries slower than N ms to the slow-query log "
+             "(surfaced in /stats); implies --trace",
     )
     serve.set_defaults(func=cmd_serve)
 

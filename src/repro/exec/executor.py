@@ -31,6 +31,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Set
 
+from repro import obs
 from repro.coding.base import CodingScheme
 from repro.coding.filter_based import FilterBasedCoding
 from repro.coding.root_split import RootSplitCoding
@@ -101,7 +102,12 @@ def decompose_query(
     pad: bool = True,
 ) -> Cover:
     """Stage 1: pick a cover of *query* (Section 5.2's decomposition phase)."""
-    return decompose(query, mss, strategy=strategy, pad=pad)
+    if not obs.enabled():
+        return decompose(query, mss, strategy=strategy, pad=pad)
+    with obs.trace("decompose", strategy=strategy, mss=mss) as span:
+        cover = decompose(query, mss, strategy=strategy, pad=pad)
+        span.set(cover_size=len(cover), join_count=cover.join_count)
+        return cover
 
 
 # ----------------------------------------------------------------------
@@ -121,7 +127,20 @@ def fetch_postings(
     caching wrapper, or a batch-local memo built by
     :meth:`repro.service.QueryService.run_many`.
     """
-    return [fetch(subtree.key_bytes()) for subtree in cover.subtrees]
+    if not obs.enabled():
+        return [fetch(subtree.key_bytes()) for subtree in cover.subtrees]
+    with obs.trace("fetch_postings", keys=len(cover.subtrees)) as span:
+        postings: List[List[object]] = []
+        total = 0
+        for subtree in cover.subtrees:
+            key = subtree.key_bytes()
+            with obs.trace("fetch_key", key=key.decode("utf-8", "replace")) as key_span:
+                plist = fetch(key)
+                key_span.set(postings=len(plist))
+            total += len(plist)
+            postings.append(plist)
+        span.set(postings=total)
+        return postings
 
 
 # ----------------------------------------------------------------------
@@ -143,6 +162,22 @@ def join_postings(
     (``candidates_filtered``).
     """
     stats = stats if stats is not None else ExecutionStats()
+    if not obs.enabled():
+        return _dispatch_join(query, cover, postings, coding, store, stats)
+    with obs.trace("join", coding=coding.name, cover=len(cover.subtrees)) as span:
+        result = _dispatch_join(query, cover, postings, coding, store, stats)
+        span.set(matches=result.total_matches)
+        return result
+
+
+def _dispatch_join(
+    query: QueryTree,
+    cover: Cover,
+    postings: Sequence[Sequence[object]],
+    coding: CodingScheme,
+    store: Optional[TreeStore | Corpus],
+    stats: ExecutionStats,
+) -> QueryResult:
     if isinstance(coding, FilterBasedCoding):
         return _join_filter_based(query, cover, postings, store, stats)
     if isinstance(coding, (RootSplitCoding, SubtreeIntervalCoding)):
@@ -168,11 +203,13 @@ def _join_filter_based(
     stats.candidates_filtered = len(candidates)
 
     matches: Dict[int, int] = {}
-    for tid in candidates:
-        tree = store.get(tid)
-        count = count_matches(query.root, tree)
-        if count:
-            matches[tid] = count
+    with obs.trace("filter", candidates=len(candidates)) as span:
+        for tid in candidates:
+            tree = store.get(tid)
+            count = count_matches(query.root, tree)
+            if count:
+                matches[tid] = count
+        span.set(matched_trees=len(matches))
     return QueryResult(matches_per_tree=matches)
 
 
@@ -302,6 +339,14 @@ class QueryExecutor:
 
     def execute(self, query: QueryTree) -> QueryResult:
         """Evaluate *query* and return its matches and execution statistics."""
+        if not obs.enabled():
+            return self._execute(query)
+        with obs.trace("query", engine="executor", coding=self.index.coding.name) as span:
+            result = self._execute(query)
+            span.set(matches=result.total_matches)
+            return result
+
+    def _execute(self, query: QueryTree) -> QueryResult:
         started = time.perf_counter()
         cover = self.decompose(query)
         postings = fetch_postings(cover, self.index.lookup)

@@ -23,6 +23,7 @@ import time
 from concurrent.futures import ThreadPoolExecutor
 from typing import AbstractSet, Callable, List, Optional, Sequence, Tuple
 
+from repro import obs
 from repro.coding.base import CodingScheme
 from repro.exec.executor import (
     ExecutionStats,
@@ -98,6 +99,17 @@ def _default_fetch(shard: object, key: bytes) -> List[object]:
     return shard.index.lookup(key)
 
 
+def _shard_label(shard: object) -> object:
+    """A stable display label: shard id, segment id, or ``delta``."""
+    shard_id = getattr(shard, "shard_id", None)
+    if shard_id is not None:
+        return shard_id
+    segment_id = getattr(shard, "segment_id", None)
+    if segment_id is not None:
+        return f"segment-{segment_id}"
+    return "delta"
+
+
 def execute_on_shards(
     query: QueryTree,
     cover: Cover,
@@ -119,29 +131,38 @@ def execute_on_shards(
     """
     fetcher = fetch if fetch is not None else _default_fetch
 
-    def run_shard(shard: object) -> Tuple[QueryResult, int, int]:
-        postings = [fetcher(shard, key) for key in key_bytes]
-        stats = ExecutionStats()
-        result = join_postings(
-            query, cover, postings, coding, store=shard.store, stats=stats
+    with obs.trace("fanout", shards=len(shards)) as fanout_span:
+        # The pool's worker threads do not inherit context variables, so the
+        # fan-out span is passed to each per-shard child span explicitly.
+        parent = fanout_span if fanout_span is not obs.NOOP_SPAN else None
+
+        def run_shard(shard: object) -> Tuple[QueryResult, int, int]:
+            with obs.trace("shard", parent=parent, shard=_shard_label(shard)) as span:
+                postings = [fetcher(shard, key) for key in key_bytes]
+                stats = ExecutionStats()
+                result = join_postings(
+                    query, cover, postings, coding, store=shard.store, stats=stats
+                )
+                fetched = sum(len(plist) for plist in postings)
+                span.set(postings=fetched, matches=result.total_matches)
+                return result, fetched, stats.candidates_filtered
+
+        if pool is not None and len(shards) > 1:
+            per_shard = list(pool.map(run_shard, shards))
+        else:
+            per_shard = [run_shard(shard) for shard in shards]
+
+        totals = ExecutionStats(
+            cover_size=len(cover),
+            join_count=cover.join_count,
+            postings_fetched=sum(fetched for _, fetched, _ in per_shard),
+            candidates_filtered=sum(filtered for _, _, filtered in per_shard),
         )
-        fetched = sum(len(plist) for plist in postings)
-        return result, fetched, stats.candidates_filtered
-
-    if pool is not None and len(shards) > 1:
-        per_shard = list(pool.map(run_shard, shards))
-    else:
-        per_shard = [run_shard(shard) for shard in shards]
-
-    totals = ExecutionStats(
-        cover_size=len(cover),
-        join_count=cover.join_count,
-        postings_fetched=sum(fetched for _, fetched, _ in per_shard),
-        candidates_filtered=sum(filtered for _, _, filtered in per_shard),
-    )
-    merged = merge_shard_results(
-        [result for result, _, _ in per_shard], exclude_tids=exclude_tids
-    )
+        with obs.trace("merge_results"):
+            merged = merge_shard_results(
+                [result for result, _, _ in per_shard], exclude_tids=exclude_tids
+            )
+        fanout_span.set(matches=merged.total_matches)
     return merged, totals
 
 

@@ -48,6 +48,7 @@ from dataclasses import dataclass
 from itertools import groupby
 from typing import Iterator, List, Optional, Sequence, Set, Tuple
 
+from repro import obs
 from repro.coding.base import CodingScheme, get_coding
 from repro.core.index import IndexMetadata, SubtreeIndex
 from repro.core.keys import SubtreeKey, decode_key
@@ -334,7 +335,8 @@ class LiveIndex:
         with self._write_lock:
             tid = self._next_tid
             added = ParseTree(root, tid=tid)
-            self._wal.append_add(tid, to_penn(root))
+            with obs.trace("wal.append", op="add", tid=tid):
+                self._wal.append_add(tid, to_penn(root))
             # Corpus before postings: any posting a concurrent reader can
             # see must name a tree the filtering phase can fetch.
             self._delta_corpus.add(added)
@@ -351,7 +353,8 @@ class LiveIndex:
                 and not any(tid in segment.store for segment in self.segments)
             ):
                 raise KeyError(f"no tree with tid {tid}")
-            self._wal.append_delete(tid)
+            with obs.trace("wal.append", op="delete", tid=tid):
+                self._wal.append_delete(tid)
             self._tombstones.add(tid)
             self._bump()
 
@@ -378,6 +381,19 @@ class LiveIndex:
         cleanup -- a crash at any point leaves a consistent index (see
         :meth:`open` for how a stale WAL is recognised).
         """
+        if not obs.enabled():
+            return self._compact_impl()
+        with obs.trace("live.compact") as span:
+            stats = self._compact_impl()
+            span.set(
+                epoch=stats.epoch,
+                noop=stats.noop,
+                flushed_trees=stats.flushed_trees,
+                purged_tombstones=stats.purged_tombstones,
+            )
+            return stats
+
+    def _compact_impl(self) -> CompactionStats:
         started = time.perf_counter()
         with self._write_lock:
             if (
@@ -501,14 +517,23 @@ class LiveIndex:
                 self.probe_stats.cache_hits += 1
                 return cached  # type: ignore[return-value]
         self.probe_stats.tree_descents += 1
+        if obs.enabled():
+            with obs.trace("live.merge", sources=len(self.segments) + 1) as span:
+                merged = self._merged_lookup(encoded)
+                span.set(postings=len(merged))
+        else:
+            merged = self._merged_lookup(encoded)
+        if cache is not None:
+            cache.put(encoded, merged)
+        return merged
+
+    def _merged_lookup(self, encoded: bytes) -> List[object]:
         per_source = [segment.index.lookup(encoded) for segment in self.segments]
         per_source.append(self._delta.lookup(encoded))
         merged = ShardedIndex._merge_postings(per_source)
         if self._tombstones:
             dead = self._tombstones
             merged = [posting for posting in merged if posting.tid not in dead]
-        if cache is not None:
-            cache.put(encoded, merged)
         return merged
 
     def has_key(self, key: bytes | str | SubtreeKey | Node) -> bool:

@@ -1,0 +1,74 @@
+"""repro.obs: end-to-end query tracing, structured logging and profiling.
+
+The package has two halves:
+
+* :mod:`repro.obs.tracer` -- the context-local span tracer.  Call sites
+  write ``with obs.trace("stage", key=value):``; when tracing is disabled
+  (the default) that returns a shared no-op span, so instrumentation costs
+  one flag check.  Enabled, spans form a tree per request / query and each
+  finished root span becomes a JSON-friendly trace record.
+* :mod:`repro.obs.sinks` -- where records go: an in-tracer ring buffer
+  (``/debug/trace``, ``repro query --trace``), a JSON-lines structured log
+  (``repro serve --trace-log``), and a Chrome-trace / Perfetto export for
+  flame views.
+
+Import the package, not the submodules, at call sites::
+
+    from repro import obs
+
+    with obs.trace("fetch_postings", keys=len(keys)) as span:
+        ...
+        span.set(postings=total)
+"""
+
+from repro.obs.sinks import (
+    JsonlSink,
+    chrome_trace_document,
+    chrome_trace_events,
+    validate_trace_log,
+    write_chrome_trace,
+)
+from repro.obs.tracer import (
+    NOOP_SPAN,
+    Span,
+    Tracer,
+    annotate,
+    current_span,
+    disable,
+    enable,
+    enabled,
+    format_trace,
+    get_request_id,
+    get_tracer,
+    new_request_id,
+    query_hash,
+    reset_request_id,
+    set_request_id,
+    stage_totals,
+    trace,
+)
+
+__all__ = [
+    "JsonlSink",
+    "NOOP_SPAN",
+    "Span",
+    "Tracer",
+    "annotate",
+    "chrome_trace_document",
+    "chrome_trace_events",
+    "current_span",
+    "disable",
+    "enable",
+    "enabled",
+    "format_trace",
+    "get_request_id",
+    "get_tracer",
+    "new_request_id",
+    "query_hash",
+    "reset_request_id",
+    "set_request_id",
+    "stage_totals",
+    "trace",
+    "validate_trace_log",
+    "write_chrome_trace",
+]

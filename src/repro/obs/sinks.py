@@ -1,0 +1,172 @@
+"""Trace sinks: the JSON-lines structured log and the Chrome-trace export.
+
+Two offline views of the same trace records the tracer produces:
+
+:class:`JsonlSink`
+    appends one JSON object per line -- trace records as the tracer built
+    them (request id, query hash, per-stage durations, cache/probe
+    counters in the span attributes) plus any free-form event dict the
+    server writes through the same file (500-path error lines carry
+    ``"kind": "error"`` with the full traceback).  Thread-safe; lines are
+    flushed as written so a killed process loses at most the line in
+    flight.
+
+Chrome-trace export
+    :func:`chrome_trace_document` converts records into the Trace Event
+    JSON format -- complete ``"X"`` (duration) events with microsecond
+    ``ts``/``dur`` -- that ``chrome://tracing`` and https://ui.perfetto.dev
+    load directly for a flame view.  Each trace gets its own ``tid`` row,
+    so concurrent requests render as parallel tracks.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from typing import Dict, List, Optional, Sequence
+
+__all__ = [
+    "JsonlSink",
+    "chrome_trace_document",
+    "chrome_trace_events",
+    "validate_trace_log",
+    "write_chrome_trace",
+]
+
+
+class JsonlSink:
+    """Appends records as JSON lines to *path*; safe across threads."""
+
+    def __init__(self, path: str):
+        self.path = path
+        self._handle = open(path, "a", encoding="utf-8")
+        self._lock = threading.Lock()
+        self.lines_written = 0
+
+    def write(self, record: Dict[str, object]) -> None:
+        """Append one record as a single line and flush it."""
+        line = json.dumps(record, default=str)
+        with self._lock:
+            self._handle.write(line + "\n")
+            self._handle.flush()
+            self.lines_written += 1
+
+    def close(self) -> None:
+        with self._lock:
+            if not self._handle.closed:
+                self._handle.close()
+
+    def __enter__(self) -> "JsonlSink":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+# ----------------------------------------------------------------------
+# Chrome trace (chrome://tracing / Perfetto) export
+# ----------------------------------------------------------------------
+def chrome_trace_events(
+    span: Dict[str, object], pid: int = 0, tid: int = 0
+) -> List[Dict[str, object]]:
+    """Flatten one nested span dict into complete ("X") trace events."""
+    events: List[Dict[str, object]] = [{
+        "name": span.get("name", "?"),
+        "cat": "repro",
+        "ph": "X",
+        "ts": int(span.get("start_us", 0)),  # type: ignore[arg-type]
+        "dur": int(span.get("duration_us", 0)),  # type: ignore[arg-type]
+        "pid": pid,
+        "tid": tid,
+        "args": dict(span.get("attrs") or {}),  # type: ignore[arg-type]
+    }]
+    for child in span.get("children") or []:  # type: ignore[union-attr]
+        events.extend(chrome_trace_events(child, pid=pid, tid=tid))
+    return events
+
+
+def chrome_trace_document(
+    records: Sequence[Dict[str, object]],
+    metadata: Optional[Dict[str, object]] = None,
+) -> Dict[str, object]:
+    """A loadable Trace Event document over *records*.
+
+    One ``tid`` row per record; extra top-level keys (ignored by the
+    viewers) carry repro's own metadata, e.g. the bench stage totals.
+    """
+    events: List[Dict[str, object]] = []
+    for tid, record in enumerate(records):
+        spans = record.get("spans")
+        if not isinstance(spans, dict):
+            continue
+        request_id = record.get("request_id")
+        row = chrome_trace_events(spans, pid=0, tid=tid)
+        if request_id:
+            events.append({
+                "name": "thread_name",
+                "ph": "M",
+                "pid": 0,
+                "tid": tid,
+                "args": {"name": f"request {request_id}"},
+            })
+        events.extend(row)
+    document: Dict[str, object] = {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+    }
+    if metadata:
+        document.update(metadata)
+    return document
+
+
+def write_chrome_trace(
+    path: str,
+    records: Sequence[Dict[str, object]],
+    metadata: Optional[Dict[str, object]] = None,
+) -> str:
+    """Write :func:`chrome_trace_document` of *records* to *path*."""
+    document = chrome_trace_document(records, metadata=metadata)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=2, sort_keys=True, default=str)
+        handle.write("\n")
+    return path
+
+
+# ----------------------------------------------------------------------
+# Structured-log validation (used by tests and the CI obs-smoke checker)
+# ----------------------------------------------------------------------
+#: Keys every trace line written by the tracer must carry.
+TRACE_LINE_KEYS = ("kind", "name", "ts", "duration_ms", "stages", "spans")
+
+#: Keys every 500-path error line written by the server must carry.
+ERROR_LINE_KEYS = ("kind", "request_id", "path", "error", "traceback", "ts")
+
+
+def validate_trace_log(path: str) -> Dict[str, int]:
+    """Check every line of a JSONL trace log parses and is well-formed.
+
+    Returns per-kind line counts; raises ``ValueError`` on the first
+    malformed line.  Kept dependency-free so the CI smoke job can run it
+    with nothing but the checkout.
+    """
+    counts: Dict[str, int] = {}
+    with open(path, "r", encoding="utf-8") as handle:
+        for number, line in enumerate(handle, start=1):
+            if not line.strip():
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as error:
+                raise ValueError(f"{path}:{number}: not valid JSON: {error}") from error
+            if not isinstance(record, dict):
+                raise ValueError(f"{path}:{number}: line is not a JSON object")
+            kind = record.get("kind", "?")
+            required = {
+                "trace": TRACE_LINE_KEYS,
+                "error": ERROR_LINE_KEYS,
+            }.get(kind, ("kind", "ts"))
+            missing = [key for key in required if key not in record]
+            if missing:
+                raise ValueError(f"{path}:{number}: {kind} line missing keys {missing}")
+            counts[kind] = counts.get(kind, 0) + 1
+    return counts

@@ -20,6 +20,7 @@ import asyncio
 from concurrent.futures import Executor
 from typing import List, Optional, Sequence, Tuple
 
+from repro import obs
 from repro.exec.executor import QueryResult
 from repro.service.service import QueryService
 
@@ -56,20 +57,28 @@ class MicroBatcher:
         self._executor = executor
         self.flush_window = flush_window
         self.max_batch = max_batch
-        self._pending: List[Tuple[str, asyncio.Future]] = []
+        self._pending: List[Tuple[str, asyncio.Future, Optional[str]]] = []
         self._flush_handle: Optional[asyncio.TimerHandle] = None
         #: Telemetry: flushes executed and queries that shared a flush.
         self.flushes = 0
         self.queries_batched = 0
 
     # ------------------------------------------------------------------
-    async def submit(self, queries: Sequence[str]) -> List[QueryResult]:
-        """Enqueue *queries* and await their results (input order kept)."""
+    async def submit(
+        self, queries: Sequence[str], request_id: Optional[str] = None
+    ) -> List[QueryResult]:
+        """Enqueue *queries* and await their results (input order kept).
+
+        *request_id* tags the queries in the flush's trace span, so a
+        coalesced flush still names every request it served.
+        """
         if not queries:
             return []
         loop = asyncio.get_running_loop()
         futures = [loop.create_future() for _ in queries]
-        self._pending.extend(zip(queries, futures))
+        self._pending.extend(
+            (query, future, request_id) for query, future in zip(queries, futures)
+        )
         if len(self._pending) >= self.max_batch:
             self._cancel_timer()
             self._flush()
@@ -90,10 +99,11 @@ class MicroBatcher:
             return
         self.flushes += 1
         self.queries_batched += len(batch)
-        texts = [text for text, _ in batch]
-        futures = [future for _, future in batch]
+        texts = [text for text, _, _ in batch]
+        futures = [future for _, future, _ in batch]
+        request_ids = [request_id for _, _, request_id in batch]
         loop = asyncio.get_running_loop()
-        pool_future = loop.run_in_executor(self._executor, self._service.run_many, texts)
+        pool_future = loop.run_in_executor(self._executor, self._run_batch, texts, request_ids)
 
         def deliver(done: "asyncio.Future") -> None:
             error = done.exception()
@@ -108,11 +118,27 @@ class MicroBatcher:
 
         pool_future.add_done_callback(deliver)
 
+    def _run_batch(
+        self, texts: List[str], request_ids: List[Optional[str]]
+    ) -> List[QueryResult]:
+        """Run one flush on the pool thread, under its own trace root.
+
+        A flush serves queries from *several* HTTP requests, so it cannot
+        nest under any one request's span; it is a fresh root carrying the
+        distinct request ids it coalesced (each submitter's own request span
+        still times its wait).
+        """
+        if not obs.enabled():
+            return self._service.run_many(texts)
+        distinct = [rid for rid in dict.fromkeys(request_ids) if rid is not None]
+        with obs.trace("batch_flush", queries=len(texts), request_ids=distinct):
+            return self._service.run_many(texts)
+
     async def drain(self) -> None:
         """Flush anything pending and wait for it (used on shutdown)."""
         self._cancel_timer()
         if not self._pending:
             return
-        futures = [future for _, future in self._pending]
+        futures = [future for _, future, _ in self._pending]
         self._flush()
         await asyncio.gather(*futures, return_exceptions=True)

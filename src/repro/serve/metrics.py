@@ -123,13 +123,16 @@ class LatencyHistogram:
         return cumulative
 
     # ------------------------------------------------------------------
-    def quantile(self, q: float) -> Optional[float]:
-        """Estimate the q-quantile from the buckets (``None`` when empty).
+    def quantile(self, q: float) -> float:
+        """Estimate the q-quantile from the buckets (``0.0`` when empty).
 
         Standard histogram interpolation: find the bucket holding the target
         rank and interpolate linearly between its bounds, then clamp to the
         observed min/max -- so a single observation is reported exactly and
-        the overflow bucket never extrapolates beyond what was seen.
+        the overflow bucket never extrapolates beyond what was seen.  A
+        zero-observation histogram reports 0.0 for every quantile, so the
+        Prometheus exposition and ``/stats`` stay number-valued (never
+        ``null``/``NaN``) for endpoints that have not been hit yet.
         """
         if not 0.0 <= q <= 1.0:
             raise ValueError(f"quantile must be in [0, 1], got {q}")
@@ -138,7 +141,7 @@ class LatencyHistogram:
             total = self._count
             seen_min, seen_max = self._min, self._max
         if total == 0:
-            return None
+            return 0.0
         assert seen_min is not None and seen_max is not None
         rank = q * total
         cumulative = 0
@@ -154,8 +157,8 @@ class LatencyHistogram:
             lower = upper
         return min(max(estimate, seen_min), seen_max)
 
-    def percentiles(self) -> Dict[str, Optional[float]]:
-        """The derived p50/p95/p99 estimates, in seconds."""
+    def percentiles(self) -> Dict[str, float]:
+        """The derived p50/p95/p99 estimates, in seconds (0.0 when empty)."""
         return {f"p{int(q * 100)}": self.quantile(q) for q in REPORTED_QUANTILES}
 
 
@@ -208,8 +211,6 @@ def render_histogram(
     lines.append(prometheus_line(f"{name}_sum", histogram.sum, labels))
     lines.append(prometheus_line(f"{name}_count", histogram.count, labels))
     for label, estimate in histogram.percentiles().items():
-        if estimate is None:
-            continue
         quantile_labels = dict(labels)
         quantile_labels["quantile"] = f"0.{label[1:]}"
         lines.append(prometheus_line(f"{name}_quantile", estimate, quantile_labels))

@@ -31,13 +31,19 @@ pass an open service, close it yourself -- or use :func:`open_server` /
 from __future__ import annotations
 
 import asyncio
+import contextvars
 import json
+import logging
 import threading
 import time
+import traceback
 from concurrent.futures import ThreadPoolExecutor
 from typing import Dict, List, Optional, Tuple
+from urllib.parse import parse_qs
 
+from repro import obs
 from repro.exec.executor import QueryResult
+from repro.obs.sinks import JsonlSink
 from repro.serve.batch import MicroBatcher
 from repro.serve.metrics import LatencyHistogram, prometheus_line, render_families, render_histogram
 from repro.service.live import LiveQueryService
@@ -45,7 +51,9 @@ from repro.service.service import QueryService
 from repro.service.sharded import ShardedQueryService
 
 #: Routes the server knows, in display order.
-ENDPOINTS = ("/query", "/query/batch", "/stats", "/healthz", "/metrics")
+ENDPOINTS = ("/query", "/query/batch", "/stats", "/healthz", "/metrics", "/debug/trace")
+
+_LOG = logging.getLogger("repro.serve")
 
 _JSON = "application/json"
 _PROMETHEUS = "text/plain; version=0.0.4; charset=utf-8"
@@ -57,6 +65,11 @@ _STATUS_REASONS = {
     405: "Method Not Allowed",
     500: "Internal Server Error",
 }
+
+
+def _header_safe(value: str) -> str:
+    """A client-supplied id made safe to echo in a response header."""
+    return "".join(ch for ch in value if 32 <= ord(ch) < 127)[:128]
 
 
 def service_flavor(service: QueryService) -> str:
@@ -128,10 +141,11 @@ class ServerMetrics:
             labels = {"endpoint": path}
             request_lines.append(prometheus_line("repro_http_requests_total", endpoint.requests, labels))
             error_lines.append(prometheus_line("repro_http_errors_total", endpoint.errors, labels))
-            if endpoint.latency.count:
-                latency_lines.extend(
-                    render_histogram("repro_http_request_duration_seconds", endpoint.latency, labels)
-                )
+            # Never-hit endpoints render too: all-zero buckets and 0.0
+            # quantiles, so scrapers see every series from the first scrape.
+            latency_lines.extend(
+                render_histogram("repro_http_request_duration_seconds", endpoint.latency, labels)
+            )
 
         caches = stats["caches"]  # type: ignore[index]
         cache_lines: List[str] = []
@@ -208,6 +222,10 @@ class QueryServer:
         max_batch: int = 64,
         max_workers: int = 4,
         index_path: Optional[str] = None,
+        trace: bool = False,
+        trace_log: Optional[str] = None,
+        slow_ms: Optional[float] = None,
+        trace_buffer: int = 256,
     ):
         if not 0 <= port <= 65535:
             raise ValueError(f"port must be in 0..65535, got {port}")
@@ -220,6 +238,11 @@ class QueryServer:
         self.max_batch = max_batch
         self.max_workers = max_workers
         self.index_path = index_path
+        # Any tracing knob turns tracing on for the server's lifetime.
+        self.trace = bool(trace or trace_log or slow_ms is not None)
+        self.trace_log = trace_log
+        self.slow_ms = slow_ms
+        self.trace_buffer = trace_buffer
         self.metrics = ServerMetrics()
         self.flavor = service_flavor(service)
         self._server: Optional[asyncio.AbstractServer] = None
@@ -227,6 +250,9 @@ class QueryServer:
         self._batcher: Optional[MicroBatcher] = None
         self._connections: set = set()
         self._started_at = 0.0
+        self._trace_sink: Optional[JsonlSink] = None
+        self._owns_tracer = False
+        self._server_errors = 0
 
     @property
     def url(self) -> str:
@@ -240,6 +266,15 @@ class QueryServer:
         """Bind the listening socket and start accepting connections."""
         if self._server is not None:
             raise RuntimeError("server is already running")
+        if self.trace and not obs.enabled():
+            sinks = []
+            if self.trace_log:
+                self._trace_sink = JsonlSink(self.trace_log)
+                sinks.append(self._trace_sink)
+            obs.enable(
+                obs.Tracer(sinks=sinks, slow_ms=self.slow_ms, capacity=self.trace_buffer)
+            )
+            self._owns_tracer = True
         self._executor = ThreadPoolExecutor(
             max_workers=self.max_workers, thread_name_prefix="repro-serve"
         )
@@ -270,6 +305,12 @@ class QueryServer:
         if self._executor is not None:
             self._executor.shutdown(wait=True)
             self._executor = None
+        if self._owns_tracer:
+            obs.disable()
+            self._owns_tracer = False
+        if self._trace_sink is not None:
+            self._trace_sink.close()
+            self._trace_sink = None
 
     async def serve_forever(self) -> None:
         """Start (if needed) and serve until cancelled."""
@@ -297,11 +338,20 @@ class QueryServer:
                 request = await self._read_request(reader)
                 if request is None:
                     break
-                method, path, keep_alive, body = request
+                method, path, keep_alive, body, query_string, client_rid = request
+                # Request ids always flow, traced or not: take the client's
+                # X-Request-ID, mint one otherwise, echo it on the response.
+                request_id = client_rid or obs.new_request_id()
                 started = time.perf_counter()
-                status, content_type, payload = await self._dispatch(method, path, body)
+                status, content_type, payload = await self._serve_request(
+                    method, path, body, query_string, request_id
+                )
                 self.metrics.for_endpoint(path).record(status, time.perf_counter() - started)
-                writer.write(self._encode_response(status, content_type, payload, keep_alive))
+                writer.write(
+                    self._encode_response(
+                        status, content_type, payload, keep_alive, request_id
+                    )
+                )
                 await writer.drain()
                 if not keep_alive:
                     break
@@ -318,14 +368,18 @@ class QueryServer:
 
     async def _read_request(
         self, reader: asyncio.StreamReader
-    ) -> Optional[Tuple[str, str, bool, bytes]]:
-        """Parse one request; None on a cleanly closed connection."""
+    ) -> Optional[Tuple[str, str, bool, bytes, str, Optional[str]]]:
+        """Parse one request; None on a cleanly closed connection.
+
+        Returns ``(method, path, keep-alive, body, query string, client
+        X-Request-ID or None)``.
+        """
         request_line = await reader.readline()
         if not request_line or not request_line.strip():
             return None
         parts = request_line.decode("latin-1").split()
         if len(parts) != 3:
-            return ("GET", "/_malformed", False, b"")
+            return ("GET", "/_malformed", False, b"", "", None)
         method, target, version = parts
         headers: Dict[str, str] = {}
         while True:
@@ -339,19 +393,29 @@ class QueryServer:
         except ValueError:
             length = 0
         body = await reader.readexactly(length) if length > 0 else b""
-        path = target.split("?", 1)[0]
+        path, _, query_string = target.partition("?")
         connection = headers.get("connection", "").lower()
         keep_alive = version != "HTTP/1.0" and connection != "close"
-        return method.upper(), path, keep_alive, body
+        client_rid = headers.get("x-request-id", "").strip() or None
+        return method.upper(), path, keep_alive, body, query_string, client_rid
 
     def _encode_response(
-        self, status: int, content_type: str, payload: bytes, keep_alive: bool
+        self,
+        status: int,
+        content_type: str,
+        payload: bytes,
+        keep_alive: bool,
+        request_id: Optional[str] = None,
     ) -> bytes:
         reason = _STATUS_REASONS.get(status, "Unknown")
+        request_id_header = (
+            f"X-Request-ID: {_header_safe(request_id)}\r\n" if request_id else ""
+        )
         head = (
             f"HTTP/1.1 {status} {reason}\r\n"
             f"Content-Type: {content_type}\r\n"
             f"Content-Length: {len(payload)}\r\n"
+            f"{request_id_header}"
             f"Connection: {'keep-alive' if keep_alive else 'close'}\r\n"
             "\r\n"
         )
@@ -360,7 +424,26 @@ class QueryServer:
     # ------------------------------------------------------------------
     # Routing and handlers
     # ------------------------------------------------------------------
-    async def _dispatch(self, method: str, path: str, body: bytes) -> Tuple[int, str, bytes]:
+    async def _serve_request(
+        self, method: str, path: str, body: bytes, query_string: str, request_id: str
+    ) -> Tuple[int, str, bytes]:
+        """Dispatch one request, under a traced root span when tracing is on."""
+        if not obs.enabled():
+            return await self._dispatch(method, path, body, query_string, request_id)
+        token = obs.set_request_id(request_id)
+        try:
+            with obs.trace("http_request", method=method, path=path) as span:
+                status, content_type, payload = await self._dispatch(
+                    method, path, body, query_string, request_id
+                )
+                span.set(status=status)
+                return status, content_type, payload
+        finally:
+            obs.reset_request_id(token)
+
+    async def _dispatch(
+        self, method: str, path: str, body: bytes, query_string: str, request_id: str
+    ) -> Tuple[int, str, bytes]:
         try:
             if path == "/query":
                 if method != "POST":
@@ -369,7 +452,7 @@ class QueryServer:
             if path == "/query/batch":
                 if method != "POST":
                     return self._json_error(405, "POST a JSON body to /query/batch")
-                return await self._handle_batch(body)
+                return await self._handle_batch(body, request_id)
             if path == "/stats":
                 if method != "GET":
                     return self._json_error(405, "/stats is GET-only")
@@ -382,11 +465,18 @@ class QueryServer:
                 if method != "GET":
                     return self._json_error(405, "/metrics is GET-only")
                 return self._handle_metrics()
+            if path == "/debug/trace":
+                if method != "GET":
+                    return self._json_error(405, "/debug/trace is GET-only")
+                return self._handle_debug_trace(query_string)
             return self._json_error(404, f"unknown path {path!r} (endpoints: {', '.join(ENDPOINTS)})")
         except BadRequest as error:
             return self._json_error(400, str(error))
         except Exception as error:  # noqa: BLE001 - the server must not die on a handler bug
-            return self._json_error(500, f"internal error: {error}")
+            # The traceback goes to the structured log only; the response
+            # body stays generic so internals never leak to clients.
+            self._log_server_error(path, request_id, error)
+            return self._json_error(500, "internal server error")
 
     def _json_error(self, status: int, message: str) -> Tuple[int, str, bytes]:
         return status, _JSON, json.dumps({"error": message}).encode("utf-8")
@@ -421,22 +511,76 @@ class QueryServer:
         text = self._prepare_or_400(payload["query"])
         loop = asyncio.get_running_loop()
         assert self._executor is not None
-        result = await loop.run_in_executor(self._executor, self.service.run, text)
+        if obs.enabled():
+            # run_in_executor does not carry context variables into the pool
+            # thread; copy the context so the service's spans nest under this
+            # request's root span and inherit its request id.
+            context = contextvars.copy_context()
+            result = await loop.run_in_executor(
+                self._executor, context.run, self.service.run, text
+            )
+        else:
+            result = await loop.run_in_executor(self._executor, self.service.run, text)
         return self._json_ok({"query": text, "result": result_to_dict(result)})
 
-    async def _handle_batch(self, body: bytes) -> Tuple[int, str, bytes]:
+    async def _handle_batch(self, body: bytes, request_id: str) -> Tuple[int, str, bytes]:
         payload = self._parse_json(body)
         if "queries" not in payload or not isinstance(payload["queries"], list):
             raise BadRequest("missing 'queries' field (a JSON list of query strings)")
         texts = [self._prepare_or_400(text) for text in payload["queries"]]
         assert self._batcher is not None
-        results = await self._batcher.submit(texts)
+        results = await self._batcher.submit(texts, request_id=request_id)
         return self._json_ok({
             "count": len(results),
             "results": [
                 {"query": text, "result": result_to_dict(result)}
                 for text, result in zip(texts, results)
             ],
+        })
+
+    def _log_server_error(self, path: str, request_id: str, error: BaseException) -> None:
+        """One structured line per 500: request id, error, full traceback.
+
+        Goes to the tracer's sinks (the ``--trace-log`` JSONL file) when
+        tracing is on, to the ``repro.serve`` logger otherwise -- never into
+        the HTTP response.
+        """
+        self._server_errors += 1
+        detail = "".join(
+            traceback.format_exception(type(error), error, error.__traceback__)
+        )
+        if obs.enabled():
+            obs.get_tracer().emit({
+                "kind": "error",
+                "request_id": request_id,
+                "path": path,
+                "error": repr(error),
+                "traceback": detail,
+                "ts": time.time(),
+            })
+        else:
+            _LOG.error(
+                "request %s to %s failed: %r\n%s", request_id, path, error, detail
+            )
+
+    def _handle_debug_trace(self, query_string: str) -> Tuple[int, str, bytes]:
+        if not obs.enabled():
+            return self._json_ok({"enabled": False, "traces": []})
+        params = parse_qs(query_string)
+        raw = params.get("n", ["16"])[-1]
+        try:
+            n = int(raw)
+        except ValueError as error:
+            raise BadRequest(f"'n' must be an integer, got {raw!r}") from error
+        if n < 1:
+            raise BadRequest(f"'n' must be >= 1, got {n}")
+        tracer = obs.get_tracer()
+        traces = tracer.last(n)
+        return self._json_ok({
+            "enabled": True,
+            "count": len(traces),
+            "traces_finished": tracer.traces_finished,
+            "traces": traces,
         })
 
     def _handle_stats(self) -> Tuple[int, str, bytes]:
@@ -459,6 +603,16 @@ class QueryServer:
                 "flush_window": self._batcher.flush_window,
                 "max_batch": self._batcher.max_batch,
             }
+        tracing: Dict[str, object] = {"enabled": obs.enabled(), "errors": self._server_errors}
+        if obs.enabled():
+            tracer = obs.get_tracer()
+            tracing.update({
+                "traces_finished": tracer.traces_finished,
+                "sink_errors": tracer.sink_errors,
+                "slow_ms": tracer.slow_ms,
+                "slow_queries": list(tracer.slow_queries),
+            })
+        server_block["tracing"] = tracing
         return self._json_ok({"flavor": self.flavor, "service": stats, "server": server_block})
 
     def _handle_healthz(self) -> Tuple[int, str, bytes]:

@@ -38,6 +38,7 @@ import time
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro import obs
 from repro.exec.executor import QueryResult
 from repro.exec.fanout import execute_on_shards, finish_stats, make_fanout_pool
 from repro.live.live import LiveIndex
@@ -78,6 +79,8 @@ class LiveQueryService(QueryService):
     index's segments + delta.  ``postings_cache_size`` is the *total*
     budget, split evenly across the base segments.
     """
+
+    flavor = "live"
 
     def __init__(
         self,
@@ -229,20 +232,31 @@ class LiveQueryService(QueryService):
         result.stats = finish_stats(stats, self.index.coding, self.strategy, started)
         return result
 
-    def run(self, query: QueryLike) -> QueryResult:
-        """Evaluate one query against the current state of the live index."""
+    def _run_impl(self, query: QueryLike) -> QueryResult:
+        """Evaluate one query against the current state of the live index.
+
+        Overrides the parent's template rather than just the uncached hook:
+        the version tag a result is remembered under must be captured
+        *before* execution, so a result that raced a mutation is tagged
+        stale and never served.
+        """
         self._sync_with_index()
         version = self.index.version
         started = time.perf_counter()
-        prepared = self.prepare(query)
+        with obs.trace("prepare") as span:
+            prepared = self.prepare(query)
+            span.set(cover=len(prepared.cover))
         result = self._cached_result(prepared)
+        obs.annotate(
+            result_cache="hit" if result is not None else "miss", epoch=version[0]
+        )
         if result is None:
             result = self._execute_fanout(prepared, started)
             self._remember_result(prepared, result, version)
         self._queries += 1
         return result
 
-    def run_many(self, queries: Sequence[QueryLike]) -> List[QueryResult]:
+    def _run_many_impl(self, queries: Sequence[QueryLike]) -> List[QueryResult]:
         """Evaluate a batch; each distinct cover key is fetched once per source."""
         self._sync_with_index()
         version = self.index.version
@@ -250,6 +264,7 @@ class LiveQueryService(QueryService):
         cached: List[Optional[QueryResult]] = [
             self._cached_result(prepared) for prepared in prepared_batch
         ]
+        obs.annotate(result_cache_hits=sum(1 for hit in cached if hit is not None))
 
         distinct: List[bytes] = []
         seen = set()

@@ -41,6 +41,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
+from repro import obs
 from repro.core.index import SubtreeIndex
 from repro.corpus.store import Corpus, TreeStore, data_file_path
 from repro.exec.executor import (
@@ -163,6 +164,9 @@ class QueryService:
     stripes:
         Lock stripes per cache; raise for heavily threaded workloads.
     """
+
+    #: Span attribute naming the serving flavor ("plain" / "sharded" / "live").
+    flavor = "plain"
 
     def __init__(
         self,
@@ -329,16 +333,52 @@ class QueryService:
         An identical (up to normalization) earlier query is answered straight
         from the result cache; its ``stats`` describe the execution that
         originally produced it.
+
+        With tracing enabled (:func:`repro.obs.enable`) the whole run is
+        wrapped in a ``query`` span whose children are the pipeline stages;
+        the flavor subclasses inherit this wrapper and override only the
+        uncached-execution hook.
         """
+        if not obs.enabled():
+            return self._run_impl(query)
+        text = query.strip() if isinstance(query, str) else query.root.to_string()
+        with obs.trace(
+            "query", flavor=self.flavor, query=text, query_sha1=obs.query_hash(text)
+        ) as span:
+            result = self._run_impl(query)
+            span.set(matches=result.total_matches)
+            return result
+
+    def _run_impl(self, query: QueryLike) -> QueryResult:
         started = time.perf_counter()
-        prepared = self.prepare(query)
+        with obs.trace("prepare") as span:
+            prepared = self.prepare(query)
+            span.set(cover=len(prepared.cover))
         result = self._cached_result(prepared)
+        obs.annotate(result_cache="hit" if result is not None else "miss")
         if result is None:
-            postings = [self.index.lookup(key) for key in prepared.key_bytes]
-            result = self._execute_prepared(prepared, postings, started)
+            result = self._execute_uncached(prepared, started)
             self._remember_result(prepared, result)
         self._queries += 1
         return result
+
+    def _execute_uncached(self, prepared: PreparedQuery, started: float) -> QueryResult:
+        """Stages 2+3 for one query that missed the result cache."""
+        postings = self._fetch_for_run(prepared)
+        return self._execute_prepared(prepared, postings, started)
+
+    def _fetch_for_run(self, prepared: PreparedQuery) -> List[List[object]]:
+        if not obs.enabled():
+            return [self.index.lookup(key) for key in prepared.key_bytes]
+        with obs.trace("fetch_postings", keys=len(prepared.key_bytes)) as span:
+            postings: List[List[object]] = []
+            for key in prepared.key_bytes:
+                with obs.trace("fetch_key", key=key.decode("utf-8", "replace")) as key_span:
+                    plist = self.index.lookup(key)
+                    key_span.set(postings=len(plist))
+                postings.append(plist)
+            span.set(postings=sum(len(plist) for plist in postings))
+        return postings
 
     def run_many(self, queries: Sequence[QueryLike]) -> List[QueryResult]:
         """Evaluate a batch, fetching each distinct cover key exactly once.
@@ -351,10 +391,19 @@ class QueryService:
         covers only its own join, since the prepare/fetch work is shared by
         the whole batch (time the ``run_many`` call itself for batch totals).
         """
+        if not obs.enabled():
+            return self._run_many_impl(queries)
+        with obs.trace("batch", flavor=self.flavor, queries=len(queries)) as span:
+            results = self._run_many_impl(queries)
+            span.set(matches=sum(result.total_matches for result in results))
+            return results
+
+    def _run_many_impl(self, queries: Sequence[QueryLike]) -> List[QueryResult]:
         prepared_batch = [self.prepare(query) for query in queries]
         cached: List[Optional[QueryResult]] = [
             self._cached_result(prepared) for prepared in prepared_batch
         ]
+        obs.annotate(result_cache_hits=sum(1 for hit in cached if hit is not None))
 
         memo: Dict[bytes, List[object]] = {}
         total_keys = 0

@@ -30,6 +30,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro import obs
 from repro.exec.executor import QueryResult
 from repro.exec.fanout import (
     ShardFetcher,
@@ -85,6 +86,8 @@ class ShardedQueryService(QueryService):
     implied by the shards) plus ``max_threads``, the fan-out pool width
     (default: shard count, capped at 16).
     """
+
+    flavor = "sharded"
 
     def __init__(
         self,
@@ -162,18 +165,15 @@ class ShardedQueryService(QueryService):
         result.stats = finish_stats(stats, self.index.coding, self.strategy, started)
         return result
 
-    def run(self, query: QueryLike) -> QueryResult:
-        """Evaluate one query: global plan, per-shard fetch+join, merge."""
-        started = time.perf_counter()
-        prepared = self.prepare(query)
-        result = self._cached_result(prepared)
-        if result is None:
-            result = self._execute_fanout(prepared, started)
-            self._remember_result(prepared, result)
-        self._queries += 1
-        return result
+    def _execute_uncached(self, prepared: PreparedQuery, started: float) -> QueryResult:
+        """One query: global plan, per-shard fetch+join, merge.
 
-    def run_many(self, queries: Sequence[QueryLike]) -> List[QueryResult]:
+        The parent's :meth:`run` wrapper (caching, counters, tracing) calls
+        this for every result-cache miss.
+        """
+        return self._execute_fanout(prepared, started)
+
+    def _run_many_impl(self, queries: Sequence[QueryLike]) -> List[QueryResult]:
         """Evaluate a batch; each distinct key is fetched once *per shard*.
 
         The per-shard memos are filled on the fan-out pool (one task per
@@ -184,6 +184,7 @@ class ShardedQueryService(QueryService):
         cached: List[Optional[QueryResult]] = [
             self._cached_result(prepared) for prepared in prepared_batch
         ]
+        obs.annotate(result_cache_hits=sum(1 for hit in cached if hit is not None))
 
         distinct: List[bytes] = []
         seen = set()

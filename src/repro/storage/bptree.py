@@ -19,6 +19,7 @@ from bisect import bisect_left, bisect_right
 from dataclasses import dataclass
 from typing import Iterator, List, Optional, Protocol, Sequence, Tuple
 
+from repro import obs
 from repro.storage.codec import (
     decode_length_prefixed,
     decode_varint,
@@ -365,6 +366,18 @@ class BPlusTree:
         # performs its write AND its invalidation under the same lock, so a
         # concurrent writer cannot slip between our read and our put and the
         # cache can never be left holding a stale value.
+        if obs.enabled():
+            with obs.trace("bptree.descent", key=key.decode("utf-8", "replace")) as span:
+                reads_before = self.pager.read_count
+                with self._descent_lock:
+                    value = self._get_from_tree(key)
+                    if cache is not None:
+                        cache.put(key, value)
+                span.set(
+                    page_reads=self.pager.read_count - reads_before,
+                    found=value is not None,
+                )
+            return value
         with self._descent_lock:
             value = self._get_from_tree(key)
             if cache is not None:

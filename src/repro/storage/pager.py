@@ -12,6 +12,8 @@ from __future__ import annotations
 import os
 from typing import Dict
 
+from repro import obs
+
 #: Default page size in bytes (matches the paper's reported system page size).
 PAGE_SIZE = 4096
 
@@ -32,6 +34,9 @@ class Pager:
         self.page_size = page_size
         self._cache_limit = cache_pages
         self._cache: Dict[int, bytes] = {}
+        #: File reads performed (write-back cache hits excluded) -- the
+        #: cheap always-on I/O proxy the descent spans report deltas of.
+        self.read_count = 0
         existed = os.path.exists(self.path)
         self._file = open(self.path, "r+b" if existed else "w+b")
         self._file.seek(0, os.SEEK_END)
@@ -71,11 +76,23 @@ class Pager:
         cached = self._cache.get(page_id)
         if cached is not None:
             return cached
+        self.read_count += 1
+        # Page-read spans only make sense nested under a descent (or some
+        # other traced operation); a bare read stays span-free even when
+        # tracing is on, so builds never flood the trace ring.
+        if obs.enabled() and obs.current_span() is not None:
+            with obs.trace("page_read", page=page_id):
+                data = self._read_page(page_id)
+        else:
+            data = self._read_page(page_id)
+        self._remember(page_id, data)
+        return data
+
+    def _read_page(self, page_id: int) -> bytes:
         self._file.seek(page_id * self.page_size)
         data = self._file.read(self.page_size)
         if len(data) != self.page_size:
             raise PageError(f"short read on page {page_id}")
-        self._remember(page_id, data)
         return data
 
     def write(self, page_id: int, data: bytes) -> None:

@@ -1,0 +1,19 @@
+"""Shared fixtures for the observability tests.
+
+Tracing state is module-global (that IS the disabled fast path), so every
+test runs against a guaranteed-off baseline and leaves it off behind
+itself, whatever it enabled or however it failed.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import obs
+
+
+@pytest.fixture(autouse=True)
+def tracing_off_around_each_test():
+    obs.disable()
+    yield
+    obs.disable()

@@ -1,0 +1,173 @@
+"""Tests of the JSONL sink, the log validator, and the Chrome-trace export."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro import obs
+from repro.obs.sinks import (
+    JsonlSink,
+    chrome_trace_document,
+    chrome_trace_events,
+    validate_trace_log,
+    write_chrome_trace,
+)
+from repro.obs.tracer import Tracer
+
+
+def _run_sample_traces(tracer: Tracer) -> list:
+    """Two finished root spans with nesting and request ids."""
+    for index, rid in enumerate(("rid-a", "rid-b")):
+        token = obs.set_request_id(rid)
+        try:
+            with obs.trace("query", flavor="plain", n=index):
+                with obs.trace("prepare"):
+                    pass
+                with obs.trace("fetch_postings"):
+                    with obs.trace("fetch_key", key="NP"):
+                        pass
+        finally:
+            obs.reset_request_id(token)
+    return tracer.last(10)
+
+
+class TestJsonlSink:
+    def test_one_json_object_per_line(self, tmp_path) -> None:
+        path = str(tmp_path / "trace.jsonl")
+        with JsonlSink(path) as sink:
+            sink.write({"kind": "trace", "name": "query"})
+            sink.write({"kind": "error", "path": "/query"})
+            assert sink.lines_written == 2
+        lines = [line for line in open(path, encoding="utf-8").read().splitlines() if line]
+        assert [json.loads(line)["kind"] for line in lines] == ["trace", "error"]
+
+    def test_appends_to_an_existing_file(self, tmp_path) -> None:
+        path = str(tmp_path / "trace.jsonl")
+        with JsonlSink(path) as sink:
+            sink.write({"kind": "trace"})
+        with JsonlSink(path) as sink:
+            sink.write({"kind": "trace"})
+        assert len(open(path, encoding="utf-8").read().splitlines()) == 2
+
+    def test_wired_as_a_tracer_sink(self, tmp_path) -> None:
+        path = str(tmp_path / "trace.jsonl")
+        with JsonlSink(path) as sink:
+            tracer = obs.enable(Tracer(sinks=[sink]))
+            _run_sample_traces(tracer)
+            obs.disable()
+        counts = validate_trace_log(path)
+        assert counts == {"trace": 2}
+        record = json.loads(open(path, encoding="utf-8").read().splitlines()[0])
+        assert record["request_id"] == "rid-a"
+        assert record["stages"].keys() == {"prepare", "fetch_postings"}
+
+
+class TestValidateTraceLog:
+    def test_counts_lines_per_kind(self, tmp_path) -> None:
+        path = tmp_path / "log.jsonl"
+        lines = [
+            {"kind": "trace", "name": "q", "ts": 1.0, "duration_ms": 0.5,
+             "stages": {}, "spans": {}},
+            {"kind": "error", "request_id": "r", "path": "/query", "error": "x",
+             "traceback": "tb", "ts": 2.0},
+            {"kind": "note", "ts": 3.0},
+        ]
+        path.write_text("\n".join(json.dumps(line) for line in lines) + "\n\n")
+        assert validate_trace_log(str(path)) == {"trace": 1, "error": 1, "note": 1}
+
+    def test_rejects_invalid_json_with_line_number(self, tmp_path) -> None:
+        path = tmp_path / "log.jsonl"
+        path.write_text('{"kind": "trace"\n')
+        with pytest.raises(ValueError, match=r":1: not valid JSON"):
+            validate_trace_log(str(path))
+
+    def test_rejects_non_object_lines(self, tmp_path) -> None:
+        path = tmp_path / "log.jsonl"
+        path.write_text("[1, 2]\n")
+        with pytest.raises(ValueError, match="not a JSON object"):
+            validate_trace_log(str(path))
+
+    def test_rejects_trace_lines_missing_required_keys(self, tmp_path) -> None:
+        path = tmp_path / "log.jsonl"
+        path.write_text(json.dumps({"kind": "trace", "name": "q"}) + "\n")
+        with pytest.raises(ValueError, match="missing keys"):
+            validate_trace_log(str(path))
+
+    def test_rejects_error_lines_missing_the_traceback(self, tmp_path) -> None:
+        path = tmp_path / "log.jsonl"
+        line = {"kind": "error", "request_id": "r", "path": "/q", "error": "x", "ts": 1.0}
+        path.write_text(json.dumps(line) + "\n")
+        with pytest.raises(ValueError, match=r"missing keys \['traceback'\]"):
+            validate_trace_log(str(path))
+
+
+class TestChromeTrace:
+    def test_events_flatten_the_span_tree(self) -> None:
+        span = {
+            "name": "query", "start_us": 100, "duration_us": 50,
+            "attrs": {"flavor": "plain"},
+            "children": [
+                {"name": "prepare", "start_us": 105, "duration_us": 10,
+                 "attrs": {}, "children": []},
+            ],
+        }
+        events = chrome_trace_events(span, pid=0, tid=3)
+        assert [event["name"] for event in events] == ["query", "prepare"]
+        assert all(event["ph"] == "X" and event["tid"] == 3 for event in events)
+        assert events[0]["args"] == {"flavor": "plain"}
+
+    def test_document_schema_is_perfetto_loadable(self) -> None:
+        tracer = obs.enable(Tracer())
+        records = _run_sample_traces(tracer)
+        obs.disable()
+        document = chrome_trace_document(records, metadata={"reproTraceCount": 2})
+        assert document["displayTimeUnit"] == "ms"
+        assert document["reproTraceCount"] == 2
+        events = document["traceEvents"]
+        assert isinstance(events, list) and events
+        for event in events:
+            assert event["ph"] in ("X", "M")
+            assert isinstance(event["pid"], int) and isinstance(event["tid"], int)
+            if event["ph"] == "X":
+                assert isinstance(event["ts"], int) and event["ts"] >= 0
+                assert isinstance(event["dur"], int) and event["dur"] >= 0
+                assert isinstance(event["name"], str) and event["name"]
+        # One thread-name metadata event and one tid row per request.
+        names = [e for e in events if e["ph"] == "M" and e["name"] == "thread_name"]
+        assert [e["args"]["name"] for e in names] == ["request rid-a", "request rid-b"]
+        assert {e["tid"] for e in events} == {0, 1}
+
+    def test_document_nesting_is_well_formed(self) -> None:
+        # Every child event must sit inside its parent's [ts, ts+dur] window
+        # (2 us slack for integer truncation) -- the flame view property.
+        tracer = obs.enable(Tracer())
+        records = _run_sample_traces(tracer)
+        obs.disable()
+
+        def check(span: dict) -> None:
+            start, end = span["start_us"], span["start_us"] + span["duration_us"]
+            for child in span["children"]:
+                assert child["start_us"] >= start - 2
+                assert child["start_us"] + child["duration_us"] <= end + 2
+                check(child)
+
+        for record in records:
+            check(record["spans"])
+
+    def test_records_without_spans_are_skipped(self) -> None:
+        document = chrome_trace_document([{"kind": "error", "request_id": "r"}])
+        assert document["traceEvents"] == []
+
+    def test_write_round_trips_through_json(self, tmp_path) -> None:
+        tracer = obs.enable(Tracer())
+        records = _run_sample_traces(tracer)
+        obs.disable()
+        path = write_chrome_trace(
+            str(tmp_path / "trace.json"), records,
+            metadata={"reproStageTotals": obs.stage_totals(records)},
+        )
+        document = json.load(open(path, encoding="utf-8"))
+        assert isinstance(document["traceEvents"], list)
+        assert set(document["reproStageTotals"]) == {"prepare", "fetch_postings"}

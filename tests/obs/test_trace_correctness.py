@@ -1,0 +1,250 @@
+"""End-to-end trace correctness over real services.
+
+The traces the tracer reports must be *internally consistent*: the stage
+tree mirrors the pipeline, children nest inside their parents on the
+timeline, and -- run sequentially -- per-shard child spans account for
+their fan-out parent.  These tests run the actual query services over a
+real index and assert on the recorded trees, plus the disabled-path
+overhead guard.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+
+import pytest
+
+from repro import obs
+from repro.bench.guard import timing_bars_enabled
+from repro.core.index import SubtreeIndex
+from repro.obs.sinks import write_chrome_trace
+from repro.obs.tracer import NOOP_SPAN, Tracer
+from repro.service.service import QueryService
+from repro.service.sharded import ShardedQueryService
+from repro.shard import ShardedIndex
+
+QUERY = "NP(DT)(NN)"
+
+
+@pytest.fixture(scope="module")
+def plain_service(tmp_path_factory, small_corpus):
+    path = str(tmp_path_factory.mktemp("obs-plain") / "plain.si")
+    SubtreeIndex.build(small_corpus, mss=3, coding="root-split", path=path).close()
+    service = QueryService.open(path)
+    yield service
+    service.close()
+
+
+@pytest.fixture(scope="module")
+def sharded_service(tmp_path_factory, small_corpus):
+    path = str(tmp_path_factory.mktemp("obs-sharded") / "sharded.si")
+    ShardedIndex.build(
+        small_corpus, mss=3, coding="root-split", path=path, shards=2, workers=1
+    ).close()
+    # One fan-out thread: shards execute sequentially, so their spans must
+    # tile the parent fan-out span rather than overlap.
+    service = ShardedQueryService.open(path + ".manifest.json", max_threads=1)
+    yield service
+    service.close()
+
+
+def _find_span(span: dict, name: str):
+    if span["name"] == name:
+        return span
+    for child in span["children"]:
+        found = _find_span(child, name)
+        if found is not None:
+            return found
+    return None
+
+
+def _span_names(span: dict) -> set:
+    names = {span["name"]}
+    for child in span["children"]:
+        names |= _span_names(child)
+    return names
+
+
+def _assert_contained(span: dict) -> None:
+    """Children sit inside the parent window; sequential ones also sum to it."""
+    start, end = span["start_us"], span["start_us"] + span["duration_us"]
+    for child in span["children"]:
+        assert child["start_us"] >= start - 2
+        assert child["start_us"] + child["duration_us"] <= end + 2
+        _assert_contained(child)
+
+
+class TestPlainServiceTrace:
+    def test_cold_query_records_the_full_pipeline(self, plain_service) -> None:
+        plain_service.clear_caches()
+        tracer = obs.enable(Tracer())
+        try:
+            result = plain_service.run(QUERY)
+        finally:
+            obs.disable()
+        record = tracer.last(1)[0]
+        assert record["name"] == "query"
+        assert record["attrs"]["flavor"] == "plain"
+        assert record["attrs"]["query"] == QUERY
+        assert record["attrs"]["query_sha1"] == obs.query_hash(QUERY)
+        assert record["attrs"]["result_cache"] == "miss"
+        assert record["attrs"]["matches"] == result.total_matches
+        assert {"prepare", "fetch_postings"} <= set(record["stages"])
+        names = _span_names(record["spans"])
+        assert {"query", "prepare", "fetch_postings", "fetch_key", "join"} <= names
+
+    def test_children_nest_within_parents(self, plain_service) -> None:
+        plain_service.clear_caches()
+        tracer = obs.enable(Tracer())
+        try:
+            plain_service.run(QUERY)
+        finally:
+            obs.disable()
+        spans = tracer.last(1)[0]["spans"]
+        _assert_contained(spans)
+        # Sequential pipeline: top-level stages must not exceed the root.
+        child_sum = sum(child["duration_us"] for child in spans["children"])
+        assert child_sum <= spans["duration_us"] + 2 * len(spans["children"])
+
+    def test_fetch_key_spans_carry_posting_sizes(self, plain_service) -> None:
+        plain_service.clear_caches()
+        tracer = obs.enable(Tracer())
+        try:
+            plain_service.run(QUERY)
+        finally:
+            obs.disable()
+        fetch = _find_span(tracer.last(1)[0]["spans"], "fetch_postings")
+        assert fetch is not None
+        keys = [child for child in fetch["children"] if child["name"] == "fetch_key"]
+        assert len(keys) == fetch["attrs"]["keys"] >= 1
+        assert all(isinstance(child["attrs"]["postings"], int) for child in keys)
+        assert fetch["attrs"]["postings"] == sum(
+            child["attrs"]["postings"] for child in keys
+        )
+
+    def test_warm_query_skips_execution_stages(self, plain_service) -> None:
+        plain_service.clear_caches()
+        tracer = obs.enable(Tracer())
+        try:
+            plain_service.run(QUERY)
+            plain_service.run(QUERY)
+        finally:
+            obs.disable()
+        warm = tracer.last(1)[0]
+        assert warm["attrs"]["result_cache"] == "hit"
+        assert "fetch_postings" not in warm["stages"]
+        assert set(warm["stages"]) == {"prepare"}
+
+    def test_batch_records_one_root_span(self, plain_service) -> None:
+        plain_service.clear_caches()
+        tracer = obs.enable(Tracer())
+        try:
+            plain_service.run_many([QUERY, "VP(VBZ)"])
+        finally:
+            obs.disable()
+        assert tracer.traces_finished == 1
+        record = tracer.last(1)[0]
+        assert record["name"] == "batch"
+        assert record["attrs"]["queries"] == 2
+        assert record["attrs"]["result_cache_hits"] == 0
+
+
+class TestShardedServiceTrace:
+    def test_shard_spans_account_for_the_fanout(self, sharded_service) -> None:
+        sharded_service.clear_caches()
+        tracer = obs.enable(Tracer())
+        try:
+            sharded_service.run(QUERY)
+        finally:
+            obs.disable()
+        record = tracer.last(1)[0]
+        assert record["attrs"]["flavor"] == "sharded"
+        fanout = _find_span(record["spans"], "fanout")
+        assert fanout is not None
+        assert fanout["attrs"]["shards"] == 2
+        shards = [child for child in fanout["children"] if child["name"] == "shard"]
+        assert len(shards) == 2
+        assert {child["attrs"]["shard"] for child in shards} == {0, 1}
+        child_sum = sum(child["duration_us"] for child in shards)
+        # Sequential fan-out (max_threads=1): shard spans cannot exceed the
+        # parent...
+        assert child_sum <= fanout["duration_us"] + 2 * len(shards)
+        # ...and on an unloaded box they account for most of it (the rest is
+        # the merge and pool dispatch).  Ratio asserts are timing-sensitive,
+        # so they follow the shared bench guard.
+        if timing_bars_enabled():
+            assert child_sum >= 0.3 * fanout["duration_us"]
+
+    def test_chrome_export_of_a_sharded_trace_loads(self, sharded_service, tmp_path) -> None:
+        sharded_service.clear_caches()
+        tracer = obs.enable(Tracer())
+        try:
+            sharded_service.run(QUERY)
+        finally:
+            obs.disable()
+        records = tracer.last(10)
+        path = write_chrome_trace(str(tmp_path / "trace.json"), records)
+        document = json.load(open(path, encoding="utf-8"))
+        events = document["traceEvents"]
+        assert {"query", "fanout", "shard", "merge_results"} <= {
+            event["name"] for event in events
+        }
+        for event in events:
+            if event["ph"] == "X":
+                assert isinstance(event["ts"], int) and isinstance(event["dur"], int)
+        for record in records:
+            _assert_contained(record["spans"])
+
+
+class TestDisabledOverhead:
+    def test_disabled_trace_is_structurally_free(self, plain_service) -> None:
+        # Unconditional: the disabled path allocates nothing and leaves no
+        # trace state behind, whatever the service does underneath.
+        assert obs.trace("query", flavor="plain") is NOOP_SPAN
+        result = plain_service.run(QUERY)
+        assert result.total_matches >= 0
+        assert obs.current_span() is None
+        tracer = Tracer()
+        before = tracer.traces_finished
+        plain_service.run(QUERY)
+        assert tracer.traces_finished == before
+
+    def test_disabled_overhead_is_under_two_percent_warm(self, plain_service) -> None:
+        # The instrumentation budget: (spans one warm query would create) x
+        # (cost of one disabled trace() call) must be under 2% of the warm
+        # query itself.  The span count comes from an actual traced run, the
+        # noop cost and query time from measurement, so the bound tracks the
+        # real call sites as they evolve.
+        plain_service.run(QUERY)  # populate the result cache
+
+        tracer = obs.enable(Tracer())
+        try:
+            plain_service.run(QUERY)
+        finally:
+            obs.disable()
+
+        def count_spans(span: dict) -> int:
+            return 1 + sum(count_spans(child) for child in span["children"])
+
+        spans_per_query = count_spans(tracer.last(1)[0]["spans"])
+        assert spans_per_query >= 2  # query + prepare at minimum
+
+        rounds = 20_000
+        started = time.perf_counter()
+        for _ in range(rounds):
+            obs.trace("query", flavor="plain")
+        noop_seconds = (time.perf_counter() - started) / rounds
+
+        rounds = 200
+        started = time.perf_counter()
+        for _ in range(rounds):
+            plain_service.run(QUERY)
+        warm_seconds = (time.perf_counter() - started) / rounds
+
+        budget = spans_per_query * noop_seconds
+        if timing_bars_enabled():
+            assert budget < 0.02 * warm_seconds, (
+                f"{spans_per_query} disabled spans cost {budget * 1e6:.2f} us "
+                f"against a {warm_seconds * 1e6:.2f} us warm query"
+            )

@@ -1,0 +1,293 @@
+"""Unit tests of the span tracer: fast path, nesting, ring, slow log, sinks."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro import obs
+from repro.obs.tracer import NOOP_SPAN, Tracer
+
+
+class ListSink:
+    """Collects written records in memory."""
+
+    def __init__(self) -> None:
+        self.records = []
+
+    def write(self, record: dict) -> None:
+        self.records.append(record)
+
+
+class BrokenSink:
+    """Always fails -- the tracer must swallow and count, never raise."""
+
+    def write(self, record: dict) -> None:
+        raise OSError("disk full")
+
+
+class TestDisabledFastPath:
+    def test_trace_returns_the_shared_noop_span(self) -> None:
+        # Identity, not equality: the disabled path must not allocate.
+        assert obs.trace("query") is NOOP_SPAN
+        assert obs.trace("query", parent=None, attr=1) is NOOP_SPAN
+
+    def test_noop_span_is_inert(self) -> None:
+        with obs.trace("query", flavor="plain") as span:
+            assert span is NOOP_SPAN
+            assert span.set(matches=3) is NOOP_SPAN
+
+    def test_no_current_span_and_annotate_is_a_no_op(self) -> None:
+        with obs.trace("query"):
+            assert obs.current_span() is None
+            obs.annotate(matches=1)  # must not raise
+
+    def test_noop_span_does_not_swallow_exceptions(self) -> None:
+        with pytest.raises(RuntimeError, match="boom"):
+            with obs.trace("query"):
+                raise RuntimeError("boom")
+
+
+class TestEnableDisable:
+    def test_enable_installs_and_returns_the_tracer(self) -> None:
+        tracer = Tracer()
+        assert obs.enable(tracer) is tracer
+        assert obs.enabled()
+        assert obs.get_tracer() is tracer
+
+    def test_enable_without_argument_makes_a_fresh_tracer(self) -> None:
+        tracer = obs.enable()
+        assert isinstance(tracer, Tracer)
+        assert obs.get_tracer() is tracer
+
+    def test_disable_restores_the_noop_path(self) -> None:
+        obs.enable(Tracer())
+        obs.disable()
+        assert not obs.enabled()
+        assert obs.trace("query") is NOOP_SPAN
+
+    def test_capacity_must_be_positive(self) -> None:
+        with pytest.raises(ValueError, match="capacity"):
+            Tracer(capacity=0)
+
+
+class TestSpanTree:
+    def test_nested_spans_build_one_record(self) -> None:
+        tracer = obs.enable(Tracer())
+        with obs.trace("query", flavor="plain") as root:
+            with obs.trace("prepare"):
+                pass
+            with obs.trace("fetch_postings"):
+                with obs.trace("fetch_key", key="NP"):
+                    pass
+            root.set(matches=7)
+        assert tracer.traces_finished == 1
+        record = tracer.last(1)[0]
+        assert record["kind"] == "trace"
+        assert record["name"] == "query"
+        assert record["attrs"] == {"flavor": "plain", "matches": 7}
+        assert set(record["stages"]) == {"prepare", "fetch_postings"}
+        spans = record["spans"]
+        assert [child["name"] for child in spans["children"]] == ["prepare", "fetch_postings"]
+        fetch = spans["children"][1]
+        assert fetch["children"][0]["attrs"] == {"key": "NP"}
+
+    def test_only_root_spans_produce_records(self) -> None:
+        tracer = obs.enable(Tracer())
+        with obs.trace("query"):
+            with obs.trace("prepare"):
+                pass
+        assert tracer.traces_finished == 1
+        assert tracer.last(10)[0]["name"] == "query"
+
+    def test_current_span_tracks_the_context(self) -> None:
+        obs.enable(Tracer())
+        assert obs.current_span() is None
+        with obs.trace("query") as root:
+            assert obs.current_span() is root
+            with obs.trace("prepare") as child:
+                assert obs.current_span() is child
+            assert obs.current_span() is root
+        assert obs.current_span() is None
+
+    def test_annotate_merges_into_the_current_span(self) -> None:
+        tracer = obs.enable(Tracer())
+        with obs.trace("query"):
+            obs.annotate(result_cache="hit")
+        assert tracer.last(1)[0]["attrs"] == {"result_cache": "hit"}
+
+    def test_explicit_parent_crosses_threads(self) -> None:
+        # Worker pools do not propagate context variables; passing the
+        # captured parent span attaches the child to the right tree anyway.
+        tracer = obs.enable(Tracer())
+        with obs.trace("fanout") as fanout:
+            def work() -> None:
+                with obs.trace("shard", parent=fanout, shard=0):
+                    pass
+            worker = threading.Thread(target=work)
+            worker.start()
+            worker.join()
+        spans = tracer.last(1)[0]["spans"]
+        assert [child["name"] for child in spans["children"]] == ["shard"]
+
+    def test_exception_is_recorded_and_propagates(self) -> None:
+        tracer = obs.enable(Tracer())
+        with pytest.raises(ValueError, match="bad"):
+            with obs.trace("query"):
+                raise ValueError("bad")
+        record = tracer.last(1)[0]
+        assert "ValueError" in record["attrs"]["error"]
+
+    def test_durations_nest_consistently(self) -> None:
+        tracer = obs.enable(Tracer())
+        with obs.trace("query"):
+            with obs.trace("prepare"):
+                pass
+            with obs.trace("join"):
+                pass
+        spans = tracer.last(1)[0]["spans"]
+        child_sum = sum(child["duration_us"] for child in spans["children"])
+        assert child_sum <= spans["duration_us"] + 2  # int truncation slack
+
+
+class TestRequestIds:
+    def test_new_request_id_is_32_hex_chars(self) -> None:
+        rid = obs.new_request_id()
+        assert len(rid) == 32
+        int(rid, 16)  # parses as hex
+        assert rid != obs.new_request_id()
+
+    def test_root_spans_stamp_the_context_request_id(self) -> None:
+        tracer = obs.enable(Tracer())
+        token = obs.set_request_id("rid-1")
+        try:
+            assert obs.get_request_id() == "rid-1"
+            with obs.trace("query"):
+                with obs.trace("prepare"):
+                    pass
+        finally:
+            obs.reset_request_id(token)
+        assert obs.get_request_id() is None
+        assert tracer.last(1)[0]["request_id"] == "rid-1"
+
+    def test_children_inherit_the_root_request_id(self) -> None:
+        obs.enable(Tracer())
+        token = obs.set_request_id("rid-2")
+        try:
+            with obs.trace("query"):
+                with obs.trace("prepare") as child:
+                    assert child.request_id == "rid-2"
+        finally:
+            obs.reset_request_id(token)
+
+    def test_query_hash_is_short_and_stable(self) -> None:
+        assert obs.query_hash("NP(DT)(NN)") == obs.query_hash("NP(DT)(NN)")
+        assert len(obs.query_hash("NP(DT)(NN)")) == 12
+        assert obs.query_hash("NP(DT)(NN)") != obs.query_hash("VP(VBZ)")
+
+
+class TestRingAndSlowLog:
+    def test_ring_keeps_the_newest_records(self) -> None:
+        tracer = obs.enable(Tracer(capacity=2))
+        for index in range(3):
+            with obs.trace(f"q{index}"):
+                pass
+        assert tracer.traces_finished == 3
+        assert [record["name"] for record in tracer.last(10)] == ["q1", "q2"]
+
+    def test_last_returns_oldest_first(self) -> None:
+        tracer = obs.enable(Tracer())
+        for index in range(4):
+            with obs.trace(f"q{index}"):
+                pass
+        assert [record["name"] for record in tracer.last(2)] == ["q2", "q3"]
+        assert tracer.last(0) == []
+
+    def test_slow_threshold_marks_and_logs(self) -> None:
+        tracer = obs.enable(Tracer(slow_ms=0.0))  # everything is slow
+        with obs.trace("query", query="NP(DT)(NN)"):
+            pass
+        record = tracer.last(1)[0]
+        assert record["slow"] is True
+        assert len(tracer.slow_queries) == 1
+        entry = tracer.slow_queries[0]
+        assert entry["name"] == "query"
+        assert entry["query"] == "NP(DT)(NN)"
+
+    def test_slow_log_finds_the_query_text_in_children(self) -> None:
+        tracer = obs.enable(Tracer(slow_ms=0.0))
+        with obs.trace("http_request", path="/query"):
+            with obs.trace("query", query="VP(VBZ)"):
+                pass
+        assert tracer.slow_queries[0]["query"] == "VP(VBZ)"
+
+    def test_no_threshold_means_nothing_is_slow(self) -> None:
+        tracer = obs.enable(Tracer())
+        with obs.trace("query"):
+            pass
+        assert tracer.last(1)[0]["slow"] is False
+        assert len(tracer.slow_queries) == 0
+
+
+class TestSinks:
+    def test_records_reach_every_sink(self) -> None:
+        first, second = ListSink(), ListSink()
+        obs.enable(Tracer(sinks=[first, second]))
+        with obs.trace("query"):
+            pass
+        assert len(first.records) == len(second.records) == 1
+        assert first.records[0]["kind"] == "trace"
+
+    def test_broken_sink_is_counted_not_raised(self) -> None:
+        good = ListSink()
+        tracer = obs.enable(Tracer(sinks=[BrokenSink(), good]))
+        with obs.trace("query"):
+            pass
+        assert tracer.sink_errors == 1
+        assert len(good.records) == 1  # later sinks still run
+
+    def test_emit_writes_to_sinks_but_not_the_ring(self) -> None:
+        sink = ListSink()
+        tracer = obs.enable(Tracer(sinks=[sink]))
+        tracer.emit({"kind": "error", "request_id": "rid-3", "path": "/query"})
+        assert sink.records[0]["kind"] == "error"
+        assert tracer.last(10) == []
+        assert tracer.traces_finished == 0
+
+    def test_emit_counts_broken_sinks(self) -> None:
+        tracer = obs.enable(Tracer(sinks=[BrokenSink()]))
+        tracer.emit({"kind": "error"})
+        assert tracer.sink_errors == 1
+
+
+class TestRendering:
+    def test_format_trace_shows_the_tree(self) -> None:
+        tracer = obs.enable(Tracer(slow_ms=0.0))
+        token = obs.set_request_id("rid-4")
+        try:
+            with obs.trace("query", flavor="plain"):
+                with obs.trace("prepare", cover=2):
+                    pass
+        finally:
+            obs.reset_request_id(token)
+        text = obs.format_trace(tracer.last(1)[0])
+        lines = text.splitlines()
+        assert lines[0].startswith("trace query ")
+        assert "request_id=rid-4" in lines[0]
+        assert "[SLOW]" in lines[0]
+        assert lines[1].startswith("  query ")
+        assert lines[2].startswith("    prepare ")
+        assert "cover=2" in lines[2]
+
+    def test_stage_totals_sums_across_records(self) -> None:
+        tracer = obs.enable(Tracer())
+        for _ in range(2):
+            with obs.trace("query"):
+                with obs.trace("prepare"):
+                    pass
+                with obs.trace("join"):
+                    pass
+        totals = obs.stage_totals(tracer.last(10))
+        assert set(totals) == {"prepare", "join"}
+        assert all(value >= 0.0 for value in totals.values())

@@ -42,11 +42,13 @@ class TestPercentileOfSorted:
 
 
 class TestLatencyHistogram:
-    def test_empty_histogram_has_no_quantiles(self) -> None:
+    def test_empty_histogram_reports_zero_quantiles(self) -> None:
+        # Never-observed histograms must stay number-valued (no None/NaN):
+        # /stats and /metrics render every endpoint from the first scrape.
         histogram = LatencyHistogram()
         assert histogram.count == 0
-        assert histogram.quantile(0.5) is None
-        assert histogram.percentiles() == {"p50": None, "p95": None, "p99": None}
+        assert histogram.quantile(0.5) == 0.0
+        assert histogram.percentiles() == {"p50": 0.0, "p95": 0.0, "p99": 0.0}
 
     def test_single_sample_is_reported_exactly(self) -> None:
         histogram = LatencyHistogram()
@@ -146,6 +148,19 @@ class TestPrometheusRendering:
         quantile_lines = [line for line in lines if "quantile=" in line]
         assert len(quantile_lines) == 3
         assert all('quantile="0.' in line for line in quantile_lines)
+
+    def test_empty_histogram_renders_zero_series(self) -> None:
+        # A zero-observation family still renders: all-zero buckets, zero
+        # sum/count and 0.0 quantile estimates -- and never NaN/None.
+        histogram = LatencyHistogram(buckets=(0.001, 0.01))
+        lines = render_histogram("lat", histogram, {"endpoint": "/debug/trace"})
+        assert 'lat_bucket{endpoint="/debug/trace",le="+Inf"} 0' in lines
+        assert 'lat_sum{endpoint="/debug/trace"} 0' in lines
+        assert 'lat_count{endpoint="/debug/trace"} 0' in lines
+        quantile_lines = [line for line in lines if "quantile=" in line]
+        assert len(quantile_lines) == 3
+        assert all(line.endswith(" 0") for line in quantile_lines)
+        assert not any("NaN" in line or "None" in line for line in lines)
 
     def test_families_join_with_help_and_type_headers(self) -> None:
         body = render_families([("m_total", "counter", "A counter.", ["m_total 1"])])

@@ -71,6 +71,12 @@ def test_readme_session(workdir) -> None:
     assert batch.returncode == 0, batch.stderr
     assert batch.stdout.count("matches") >= 2
 
+    traced = run_cli("query", "corpus.si", "NP(DT)(NN)", "--trace", cwd=workdir)
+    assert traced.returncode == 0, traced.stderr
+    assert "trace query" in traced.stdout
+    for stage in ("prepare", "fetch_postings", "fetch_key", "join"):
+        assert stage in traced.stdout, stage
+
     stats = run_cli("stats", "corpus.si", "--top", "3", cwd=workdir)
     assert stats.returncode == 0, stats.stderr
     assert "coding          : root-split" in stats.stdout
