@@ -1,0 +1,69 @@
+"""Serving-layer hardening benchmarks: open-loop overload and mixed read/write.
+
+``serve_overload`` drives the HTTP server open-loop (arrivals on a fixed
+schedule, independent of responses) below and far above its calibrated
+capacity: above capacity the server must *shed* load with clean 503s, and
+every request it does accept must still return the exact offline answer.
+
+``serve_mixed_rw`` queries a live (mutable) index while a writer thread
+adds and deletes trees, then re-verifies every query against a settled
+snapshot: concurrent writes may change answers mid-flight but must never
+produce errors, and once the writes are balanced out the served answers
+must match a fresh offline service exactly.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_experiment
+from repro.bench.guard import timing_bars_enabled
+
+
+def test_serve_overload(runner) -> None:
+    report = run_experiment(runner, "serve_overload")
+    rows = report.result.as_dicts()
+    assert rows, "the experiment produced no rows"
+    by_load = {row["load"]: row for row in rows}
+    assert set(by_load) == {"below", "above"}, sorted(by_load)
+
+    for row in rows:
+        # Correctness invariants, valid on any machine: overload may shed
+        # requests but never errors them or answers them wrongly.
+        assert row["errors"] == 0, row
+        assert row["mismatches"] == 0, row
+        assert row["offered"] > 0, row
+        assert row["accepted"] > 0, row
+        assert row["accepted"] + row["shed"] <= row["offered"], row
+
+    # Above calibrated capacity the bounded queue MUST shed: an unbounded
+    # server would instead queue forever and time the run out.
+    assert by_load["above"]["shed"] > 0, by_load["above"]
+
+    if timing_bars_enabled():
+        # Below capacity nearly everything is accepted and latency is tame;
+        # above capacity shedding keeps the accepted requests' p99 bounded
+        # (the whole point of backpressure: reject, don't queue).
+        below, above = by_load["below"], by_load["above"]
+        assert below["shed"] <= 0.05 * below["offered"], below
+        assert above["p99_ms"] < 5_000.0, above
+        assert below["p50_ms"] <= below["p99_ms"], below
+
+
+def test_serve_mixed_rw(runner) -> None:
+    report = run_experiment(runner, "serve_mixed_rw")
+    rows = report.result.as_dicts()
+    assert rows, "the experiment produced no rows"
+    by_phase = {row["phase"]: row for row in rows}
+    assert set(by_phase) == {"mutating", "settled"}, sorted(by_phase)
+
+    for row in rows:
+        assert row["errors"] == 0, row
+        assert row["mismatches"] == 0, row
+        assert row["requests"] > 0, row
+        assert row["qps"] > 0, row
+
+    # The writer must actually have interleaved with the reads, and must
+    # have balanced its books (every add deleted) before verification.
+    mutating = by_phase["mutating"]
+    assert mutating["adds"] > 0, mutating
+    assert mutating["deletes"] > 0, mutating
+    assert mutating["adds"] == mutating["deletes"], mutating

@@ -12,6 +12,7 @@ from __future__ import annotations
 
 import json
 import os
+import threading
 import time
 from typing import Dict, Iterable, List, Sequence, Tuple
 
@@ -771,6 +772,267 @@ def serve_http_throughput(
 def _json_roundtrip(payload: Dict[str, object]) -> Dict[str, object]:
     """*payload* as it looks after one encode/decode hop (float repr etc.)."""
     return json.loads(json.dumps(payload))
+
+
+# ----------------------------------------------------------------------
+# Serve overload: open-loop fixed-rate arrivals vs the bounded queue
+# ----------------------------------------------------------------------
+def serve_overload(
+    context: ExperimentContext,
+    sentence_count: int = 600,
+    mss: int = 3,
+    coding: str = "root-split",
+    duration_seconds: float = 1.5,
+    calibration_seconds: float = 0.75,
+    rate_multiples: Sequence[Tuple[str, float]] = (("below", 0.5), ("above", 3.0)),
+    arrivals: str = "poisson",
+    max_queue: int = 16,
+    max_workers: int = 2,
+    max_clients: int = 128,
+    profile: str = "fb_heavy",
+) -> ExperimentResult:
+    """Latency and shedding under *open-loop* load below and above capacity.
+
+    The closed-loop experiment (``serve_http_throughput``) lets clients
+    slow down with the server, which hides queueing delay under overload
+    (coordinated omission).  Here the FB-heavy query mix is offered at a
+    *fixed* arrival rate -- first well below, then well above the server's
+    measured capacity -- against a server configured with a small bounded
+    executor queue.  Above capacity the server must *shed* (503 +
+    ``Retry-After``) rather than queue unboundedly, so the accepted-request
+    p99 stays bounded while ``shed`` grows; every accepted response is
+    still verified against the in-process ``QueryService.run`` ground
+    truth (``errors`` and ``mismatches`` are exact gate metrics).
+
+    Capacity is calibrated in-situ with a short closed-loop burst, so the
+    below/above distinction holds on slow and fast machines alike.
+    """
+    from repro.serve.loadgen import profile_mix, run_load, run_open_loop
+    from repro.serve.server import ServerThread, result_to_dict
+
+    result = ExperimentResult(
+        name="Serve overload",
+        description=(
+            "Open-loop fixed-rate load below/above capacity against the "
+            f"bounded-queue HTTP server ({coding}, mss={mss}, "
+            f"max_queue={max_queue}, {arrivals} arrivals)"
+        ),
+        columns=[
+            "load",
+            "rate_qps",
+            "duration_seconds",
+            "offered",
+            "accepted",
+            "shed",
+            "errors",
+            "mismatches",
+            "overflowed",
+            "p50_ms",
+            "p99_ms",
+        ],
+    )
+    index = context.subtree_index(sentence_count, coding, mss)
+    store = context.tree_store(sentence_count)
+    wh_texts = [item.text for item in context.wh_queries()]
+    fb_texts = [item.text for item in context.fb_queries(sentence_count)]
+    mix = profile_mix(wh_texts, fb_texts, profile=profile, seed=context.seed)
+    service = QueryService(index, store=store)
+    try:
+        # Warm every cache, then snapshot the ground truth the open-loop
+        # clients verify accepted responses against.
+        service.run_many(mix)
+        expected = {
+            text: _json_roundtrip(result_to_dict(service.run(text)))
+            for text in dict.fromkeys(mix)
+        }
+        # The client fleet must fit inside the server's connection budget:
+        # excess clients would be shed at *accept* (503 + close), and the
+        # resulting reconnect churn can overflow the listen backlog into
+        # client-side resets -- measured as errors, which gate at zero.
+        # Here the bounded executor queue is the shedder under test.
+        with ServerThread(
+            service, max_queue=max_queue, max_workers=max_workers,
+            max_connections=max_clients + 16,
+        ) as thread:
+            calibration = run_load(
+                thread.url, mix, concurrency=2, duration=calibration_seconds,
+                expected=expected,
+            )
+            capacity = max(calibration.qps, 50.0)  # floor keeps rates sane
+            for label, multiple in rate_multiples:
+                report = run_open_loop(
+                    thread.url,
+                    mix,
+                    rate=capacity * multiple,
+                    duration=duration_seconds,
+                    arrivals=arrivals,
+                    seed=context.seed + int(multiple * 100),
+                    expected=expected,
+                    max_clients=max_clients,
+                )
+                latency = report.percentiles_ms()
+                result.add_row(
+                    label,
+                    report.rate,
+                    report.duration_seconds,
+                    report.offered,
+                    report.accepted,
+                    report.shed,
+                    report.errors,
+                    report.mismatches,
+                    report.overflowed,
+                    latency["p50"] or 0.0,
+                    latency["p99"] or 0.0,
+                )
+    finally:
+        # The context owns the index; only drop the service's caches.
+        service.clear_caches()
+        index.attach_postings_cache(None)
+    result.add_note(
+        f"open loop: {arrivals} arrivals at a fixed rate regardless of response "
+        "times, so overload latency is measured honestly; 'shed' counts 503 "
+        "load-shedding responses (bounded executor queue), which are not errors"
+    )
+    result.add_note(
+        "capacity is measured in-situ by a short closed-loop calibration burst; "
+        "'below'/'above' rates are fixed multiples of it"
+    )
+    return result
+
+
+# ----------------------------------------------------------------------
+# Serve mixed read/write: live-index mutations under read traffic
+# ----------------------------------------------------------------------
+def serve_mixed_rw(
+    context: ExperimentContext,
+    sentence_count: int = 400,
+    mss: int = 3,
+    coding: str = "root-split",
+    duration_seconds: float = 1.5,
+    verify_seconds: float = 0.75,
+    concurrency: int = 2,
+    write_pause: float = 0.002,
+) -> ExperimentResult:
+    """HTTP read traffic over a live index while writes mutate it.
+
+    A live index is served over HTTP and driven by the closed-loop WH
+    workload while a writer thread adds and deletes held-out trees through
+    the WAL'd mutation path (every add acknowledged only after an fsync,
+    every add later deleted, so the corpus ends where it began).  During
+    the mutating phase responses cannot be compared against a static
+    snapshot -- answers legitimately change under their feet -- so the
+    gate there is ``errors == 0``: the server never drops or 500s a read
+    because a write was in flight.  Once the writer stops, a verification
+    pass checks every served response against fresh ``service.run`` ground
+    truth (``mismatches`` exact-zero), closing the loop on correctness.
+    """
+    from repro.serve.loadgen import run_load
+    from repro.serve.server import ServerThread, result_to_dict
+
+    result = ExperimentResult(
+        name="Serve mixed read/write",
+        description=(
+            "Closed-loop HTTP reads over a live index while a writer thread "
+            f"adds/deletes trees ({coding}, mss={mss}, fsynced WAL appends)"
+        ),
+        columns=[
+            "phase",
+            "duration_seconds",
+            "requests",
+            "errors",
+            "mismatches",
+            "qps",
+            "adds",
+            "deletes",
+            "writes_per_sec",
+            "p50_ms",
+            "p99_ms",
+        ],
+    )
+    texts = [item.text for item in context.wh_queries()]
+    base = list(context.corpus(sentence_count))
+    path = os.path.join(context.workdir, f"mixed-rw-{sentence_count}-{coding}-{mss}")
+    live = LiveIndex.create(path, mss=mss, coding=coding, trees=base)
+    try:
+        service = LiveQueryService(live)
+        try:
+            service.run_many(texts)  # warm plans and postings
+            held_out = context.held_out_trees(64)
+            stop = threading.Event()
+            counts = {"adds": 0, "deletes": 0}
+
+            def mutate() -> None:
+                position = 0
+                while not stop.is_set():
+                    tree = held_out[position % len(held_out)]
+                    tid = live.add_tree(tree.root)
+                    counts["adds"] += 1
+                    time.sleep(write_pause)
+                    live.delete_tree(tid)
+                    counts["deletes"] += 1
+                    position += 1
+                    time.sleep(write_pause)
+
+            with ServerThread(service) as thread:
+                writer = threading.Thread(target=mutate, name="mixed-rw-writer", daemon=True)
+                writer.start()
+                try:
+                    mutating = run_load(
+                        thread.url, texts, concurrency=concurrency,
+                        duration=duration_seconds,
+                    )
+                finally:
+                    stop.set()
+                    writer.join(timeout=30.0)
+                write_seconds = mutating.duration_seconds or 1.0
+                latency = mutating.percentiles_ms()
+                result.add_row(
+                    "mutating",
+                    mutating.duration_seconds,
+                    mutating.requests,
+                    mutating.errors,
+                    mutating.mismatches,
+                    mutating.qps,
+                    counts["adds"],
+                    counts["deletes"],
+                    (counts["adds"] + counts["deletes"]) / write_seconds,
+                    latency["p50"] or 0.0,
+                    latency["p99"] or 0.0,
+                )
+                # The writer balanced every add with a delete, so the final
+                # answers must equal fresh in-process ground truth.
+                expected = {
+                    text: _json_roundtrip(result_to_dict(service.run(text)))
+                    for text in texts
+                }
+                settled = run_load(
+                    thread.url, texts, concurrency=1, duration=verify_seconds,
+                    expected=expected,
+                )
+                latency = settled.percentiles_ms()
+                result.add_row(
+                    "settled",
+                    settled.duration_seconds,
+                    settled.requests,
+                    settled.errors,
+                    settled.mismatches,
+                    settled.qps,
+                    0,
+                    0,
+                    0.0,
+                    latency["p50"] or 0.0,
+                    latency["p99"] or 0.0,
+                )
+        finally:
+            service.close()
+    finally:
+        live.close()
+    result.add_note(
+        "mutating phase: reads race fsynced add/delete pairs (no static ground "
+        "truth exists, the gate is zero errors); settled phase: every served "
+        "response verified against fresh service.run ground truth"
+    )
+    return result
 
 
 # ----------------------------------------------------------------------

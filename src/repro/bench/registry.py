@@ -36,6 +36,8 @@ RUNNERS: Dict[str, Callable[..., ExperimentResult]] = {
     "table3_join_counts": lambda context, **params: _experiments.table3_join_counts(**params),
     "serve_cold_warm": _experiments.serve_cold_warm,
     "serve_http_throughput": _experiments.serve_http_throughput,
+    "serve_overload": _experiments.serve_overload,
+    "serve_mixed_rw": _experiments.serve_mixed_rw,
     "shard_scalability": _experiments.shard_scalability,
     "update_throughput": _experiments.update_throughput,
     "ablation_cover_selection": _experiments.ablation_cover_selection,
@@ -235,6 +237,58 @@ register(ExperimentConfig(
         "trace_overhead_pct",
         "p50_ms",
         "p95_ms",
+        "p99_ms",
+    ),
+))
+
+register(ExperimentConfig(
+    name="serve_overload",
+    title="Serve overload",
+    description="Open-loop overload: load shedding, bounded latency, zero wrong answers",
+    runner="serve_overload",
+    params={
+        "sentence_count": 600,
+        "duration_seconds": 1.5,
+        "calibration_seconds": 0.75,
+        "max_queue": 16,
+        "max_workers": 2,
+        "profile": "fb_heavy",
+    },
+    key_columns=("load",),
+    metrics={"errors": "exact", "mismatches": "exact"},
+    timing_columns=(
+        "rate_qps",
+        "offered",
+        "accepted",
+        "shed",
+        "overflowed",
+        "duration_seconds",
+        "p50_ms",
+        "p99_ms",
+    ),
+))
+
+register(ExperimentConfig(
+    name="serve_mixed_rw",
+    title="Serve mixed read/write",
+    description="Queries against a live index under concurrent adds/deletes, then settled verification",
+    runner="serve_mixed_rw",
+    params={
+        "sentence_count": 400,
+        "duration_seconds": 1.5,
+        "verify_seconds": 0.75,
+        "concurrency": 2,
+    },
+    key_columns=("phase",),
+    metrics={"errors": "exact", "mismatches": "exact"},
+    timing_columns=(
+        "duration_seconds",
+        "requests",
+        "qps",
+        "adds",
+        "deletes",
+        "writes_per_sec",
+        "p50_ms",
         "p99_ms",
     ),
 ))

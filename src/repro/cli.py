@@ -536,12 +536,25 @@ def _validate_serve_knobs(args: argparse.Namespace) -> Optional[str]:
         return f"--max-batch must be at least 1, got {args.max_batch}"
     if args.workers < 1:
         return f"--workers must be at least 1, got {args.workers}"
+    if args.header_timeout <= 0:
+        return f"--header-timeout must be positive, got {args.header_timeout}"
+    if args.request_timeout <= 0:
+        return f"--request-timeout must be positive, got {args.request_timeout}"
+    if args.write_timeout <= 0:
+        return f"--write-timeout must be positive, got {args.write_timeout}"
+    if args.max_connections < 1:
+        return f"--max-connections must be at least 1, got {args.max_connections}"
+    if args.max_queue < 1:
+        return f"--max-queue must be at least 1, got {args.max_queue}"
+    if args.drain_timeout < 0:
+        return f"--drain-timeout must be >= 0, got {args.drain_timeout}"
     return None
 
 
 def cmd_serve(args: argparse.Namespace) -> int:
-    """Serve an index over HTTP until interrupted."""
+    """Serve an index over HTTP until interrupted, then drain gracefully."""
     import asyncio
+    import signal
 
     from repro.serve.server import ENDPOINTS, QueryServer, service_flavor
 
@@ -562,6 +575,12 @@ def cmd_serve(args: argparse.Namespace) -> int:
         flush_window=args.flush_window,
         max_batch=args.max_batch,
         max_workers=args.workers,
+        header_timeout=args.header_timeout,
+        request_timeout=args.request_timeout,
+        write_timeout=args.write_timeout,
+        max_connections=args.max_connections,
+        max_queue=args.max_queue,
+        drain_timeout=args.drain_timeout,
         index_path=args.index,
         trace=args.trace,
         trace_log=args.trace_log,
@@ -570,20 +589,41 @@ def cmd_serve(args: argparse.Namespace) -> int:
 
     async def _serve() -> None:
         await server.start()
-        print(f"serving {service_flavor(service)} index {args.index!r} on {server.url}")
-        print(f"endpoints: {', '.join(ENDPOINTS)} (ctrl-c to stop)")
+        print(f"serving {service_flavor(service)} index {args.index!r} on {server.url}", flush=True)
+        print(f"endpoints: {', '.join(ENDPOINTS)} (SIGTERM/ctrl-c drains and exits)", flush=True)
         if server.trace:
             detail = f" -> {args.trace_log}" if args.trace_log else ""
             slow = f", slow-query threshold {args.slow_ms} ms" if args.slow_ms is not None else ""
             print(f"tracing: enabled{detail}{slow}")
-        await server.serve_forever()
+        loop = asyncio.get_running_loop()
+        stop = asyncio.Event()
+        installed = []
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            try:
+                loop.add_signal_handler(signum, stop.set)
+                installed.append(signum)
+            except NotImplementedError:  # pragma: no cover - non-Unix event loops
+                pass
+        if not installed:  # pragma: no cover - non-Unix event loops
+            await server.serve_forever()
+            return
+        try:
+            await stop.wait()
+        finally:
+            for signum in installed:
+                loop.remove_signal_handler(signum)
+        print("draining: listener closed, finishing in-flight requests ...", flush=True)
+        summary = await server.drain()
+        forced = summary["forced_connections"]
+        detail = f", {forced} connections force-closed" if forced else ""
+        print(f"drained in {summary['drain_seconds']:.2f}s{detail}", flush=True)
 
     try:
         asyncio.run(_serve())
     except OSError as error:  # e.g. the port is already bound
         print(f"error: cannot serve on {args.host}:{args.port}: {error}", file=sys.stderr)
         return 2
-    except KeyboardInterrupt:
+    except KeyboardInterrupt:  # pragma: no cover - SIGINT before the handler lands
         pass
     finally:
         service.close()
@@ -591,13 +631,13 @@ def cmd_serve(args: argparse.Namespace) -> int:
 
 
 def cmd_loadtest(args: argparse.Namespace) -> int:
-    """Closed-loop load test of the WH workload against a served index."""
+    """Closed- or open-loop load test of the WH workload against an index."""
     from dataclasses import replace
 
     from repro.bench.registry import get_config
     from repro.bench.results import ExperimentResult
     from repro.bench.runner import build_document, write_artifacts
-    from repro.serve.loadgen import parse_base_url, run_load
+    from repro.serve.loadgen import parse_base_url, run_load, run_open_loop
     from repro.serve.server import ServerThread, result_to_dict
     from repro.workloads.wh import generate_wh_queries
 
@@ -606,6 +646,9 @@ def cmd_loadtest(args: argparse.Namespace) -> int:
             f"error: --concurrency levels must be at least 1, got {args.concurrency}",
             file=sys.stderr,
         )
+        return 2
+    if args.mode == "open" and any(rate <= 0 for rate in args.rate):
+        print(f"error: --rate values must be positive, got {args.rate}", file=sys.stderr)
         return 2
     if args.duration <= 0:
         print(f"error: --duration must be positive, got {args.duration}", file=sys.stderr)
@@ -627,36 +670,66 @@ def cmd_loadtest(args: argparse.Namespace) -> int:
     # index under test comes from the user, not the bench context.  The
     # traced-pass columns stay out: tracing cannot be toggled in a server
     # reached over --url, so the load test measures the untraced path only.
-    registered = get_config("serve_http_throughput")
-    config = replace(
-        registered,
-        params={
-            "index": args.index,
-            "url": args.url,
-            "concurrency_levels": tuple(args.concurrency),
-            "duration_seconds": args.duration,
-        },
-        timing_columns=tuple(
-            column
-            for column in registered.timing_columns
-            if column not in ("qps_traced", "trace_overhead_pct")
-        ),
-    )
-    result = ExperimentResult(
-        name="Serve HTTP throughput",
-        description=f"Closed-loop WH-workload throughput against {args.index!r}",
-        columns=[
-            "concurrency",
-            "duration_seconds",
-            "requests",
-            "errors",
-            "mismatches",
-            "qps",
-            "p50_ms",
-            "p95_ms",
-            "p99_ms",
-        ],
-    )
+    if args.mode == "open":
+        registered = get_config("serve_overload")
+        config = replace(
+            registered,
+            params={
+                "index": args.index,
+                "url": args.url,
+                "rates": tuple(args.rate),
+                "duration_seconds": args.duration,
+                "arrivals": args.arrivals,
+            },
+        )
+        result = ExperimentResult(
+            name="Serve overload",
+            description=f"Open-loop WH-workload ({args.arrivals} arrivals) against {args.index!r}",
+            columns=[
+                "load",
+                "rate_qps",
+                "duration_seconds",
+                "offered",
+                "accepted",
+                "shed",
+                "errors",
+                "mismatches",
+                "overflowed",
+                "p50_ms",
+                "p99_ms",
+            ],
+        )
+    else:
+        registered = get_config("serve_http_throughput")
+        config = replace(
+            registered,
+            params={
+                "index": args.index,
+                "url": args.url,
+                "concurrency_levels": tuple(args.concurrency),
+                "duration_seconds": args.duration,
+            },
+            timing_columns=tuple(
+                column
+                for column in registered.timing_columns
+                if column not in ("qps_traced", "trace_overhead_pct")
+            ),
+        )
+        result = ExperimentResult(
+            name="Serve HTTP throughput",
+            description=f"Closed-loop WH-workload throughput against {args.index!r}",
+            columns=[
+                "concurrency",
+                "duration_seconds",
+                "requests",
+                "errors",
+                "mismatches",
+                "qps",
+                "p50_ms",
+                "p95_ms",
+                "p99_ms",
+            ],
+        )
 
     texts = [item.text for item in generate_wh_queries()]
     thread = None
@@ -674,34 +747,65 @@ def cmd_loadtest(args: argparse.Namespace) -> int:
             print(f"serving {args.index!r} on {url} for the duration of the test")
         else:
             url = args.url
-        for concurrency in args.concurrency:
-            try:
-                report = run_load(
-                    url, texts, concurrency=concurrency, duration=args.duration,
-                    expected=expected,
+        if args.mode == "open":
+            for rate in args.rate:
+                try:
+                    report = run_open_loop(
+                        url, texts, rate=rate, duration=args.duration,
+                        arrivals=args.arrivals, expected=expected,
+                    )
+                except OSError as error:
+                    print(f"error: load test against {url} failed: {error}", file=sys.stderr)
+                    return 2
+                latency = report.percentiles_ms()
+                result.add_row(
+                    f"{rate:g}qps",
+                    rate,
+                    report.duration_seconds,
+                    report.offered,
+                    report.accepted,
+                    report.shed,
+                    report.errors,
+                    report.mismatches,
+                    report.overflowed,
+                    latency["p50"] or 0.0,
+                    latency["p99"] or 0.0,
                 )
-            except OSError as error:
-                print(f"error: load test against {url} failed: {error}", file=sys.stderr)
-                return 2
-            latency = report.percentiles_ms()
-            result.add_row(
-                concurrency,
-                report.duration_seconds,
-                report.requests,
-                report.errors,
-                report.mismatches,
-                report.qps,
-                latency["p50"],
-                latency["p95"],
-                latency["p99"],
-            )
-            print(
-                f"concurrency {concurrency}: {report.qps:,.0f} qps "
-                f"({report.requests:,} requests, {report.errors} errors, "
-                f"{report.mismatches} mismatches), "
-                f"p50 {latency['p50']:.2f} ms, p95 {latency['p95']:.2f} ms, "
-                f"p99 {latency['p99']:.2f} ms"
-            )
+                print(
+                    f"rate {rate:g}/s: offered {report.offered:,}, "
+                    f"accepted {report.accepted:,}, shed {report.shed:,}, "
+                    f"{report.errors} errors, {report.mismatches} mismatches, "
+                    f"p50 {latency['p50'] or 0.0:.2f} ms, p99 {latency['p99'] or 0.0:.2f} ms"
+                )
+        else:
+            for concurrency in args.concurrency:
+                try:
+                    report = run_load(
+                        url, texts, concurrency=concurrency, duration=args.duration,
+                        expected=expected,
+                    )
+                except OSError as error:
+                    print(f"error: load test against {url} failed: {error}", file=sys.stderr)
+                    return 2
+                latency = report.percentiles_ms()
+                result.add_row(
+                    concurrency,
+                    report.duration_seconds,
+                    report.requests,
+                    report.errors,
+                    report.mismatches,
+                    report.qps,
+                    latency["p50"],
+                    latency["p95"],
+                    latency["p99"],
+                )
+                print(
+                    f"concurrency {concurrency}: {report.qps:,.0f} qps "
+                    f"({report.requests:,} requests, {report.errors} errors, "
+                    f"{report.mismatches} mismatches), "
+                    f"p50 {latency['p50']:.2f} ms, p95 {latency['p95']:.2f} ms, "
+                    f"p99 {latency['p99']:.2f} ms"
+                )
     finally:
         if thread is not None:
             thread.stop()
@@ -1019,6 +1123,35 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker threads executing queries off the event loop (default: 4)",
     )
     serve.add_argument(
+        "--header-timeout", type=float, default=10.0, metavar="S",
+        help="seconds a connection may take to deliver a complete request head "
+             "before it is reaped with 408 (default: 10)",
+    )
+    serve.add_argument(
+        "--request-timeout", type=float, default=30.0, metavar="S",
+        help="seconds a single request may spend executing before 504 (default: 30)",
+    )
+    serve.add_argument(
+        "--write-timeout", type=float, default=15.0, metavar="S",
+        help="seconds a response write may stall on a slow client before the "
+             "connection is aborted (default: 15)",
+    )
+    serve.add_argument(
+        "--max-connections", type=int, default=256,
+        help="open-connection cap; excess connections get an immediate 503 "
+             "(default: 256)",
+    )
+    serve.add_argument(
+        "--max-queue", type=int, default=128,
+        help="in-flight query cap; requests beyond it are shed with 503 + "
+             "Retry-After instead of queueing (default: 128)",
+    )
+    serve.add_argument(
+        "--drain-timeout", type=float, default=10.0, metavar="S",
+        help="seconds SIGTERM/SIGINT shutdown waits for in-flight requests "
+             "before force-closing stragglers (default: 10)",
+    )
+    serve.add_argument(
         "--trace", action="store_true",
         help="trace every request (adds /debug/trace and request-id tagging)",
     )
@@ -1044,8 +1177,21 @@ def build_parser() -> argparse.ArgumentParser:
              "on an ephemeral port)",
     )
     loadtest.add_argument(
+        "--mode", choices=("closed", "open"), default="closed",
+        help="closed: N clients each waiting for a response; open: requests "
+             "arrive on a fixed schedule regardless of responses (default: closed)",
+    )
+    loadtest.add_argument(
         "--concurrency", type=int, nargs="+", default=[1, 2, 4],
         help="closed-loop client counts to sweep (default: 1 2 4)",
+    )
+    loadtest.add_argument(
+        "--rate", type=float, nargs="+", default=[200.0], metavar="QPS",
+        help="open-loop arrival rates to sweep, in requests/second (default: 200)",
+    )
+    loadtest.add_argument(
+        "--arrivals", choices=("poisson", "uniform"), default="poisson",
+        help="open-loop inter-arrival distribution (default: poisson)",
     )
     loadtest.add_argument(
         "--duration", type=float, default=2.0,
@@ -1057,7 +1203,8 @@ def build_parser() -> argparse.ArgumentParser:
     )
     loadtest.add_argument(
         "--out", default=".",
-        help="directory for the BENCH_serve_http_throughput.json artefact (default: .)",
+        help="directory for the BENCH_serve_http_throughput.json (closed) or "
+             "BENCH_serve_overload.json (open) artefact (default: .)",
     )
     loadtest.set_defaults(func=cmd_loadtest)
 

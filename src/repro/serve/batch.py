@@ -25,6 +25,14 @@ from repro.exec.executor import QueryResult
 from repro.service.service import QueryService
 
 
+class BatcherClosed(RuntimeError):
+    """``submit`` after ``drain``: the batcher is shutting down.
+
+    The HTTP server maps this to a 503 load-shed response, so a query that
+    races the drain is *rejected*, never silently dropped.
+    """
+
+
 class MicroBatcher:
     """Collects queries across awaiters and flushes them as one batch.
 
@@ -59,9 +67,18 @@ class MicroBatcher:
         self.max_batch = max_batch
         self._pending: List[Tuple[str, asyncio.Future, Optional[str]]] = []
         self._flush_handle: Optional[asyncio.TimerHandle] = None
+        #: Pool futures of flushes dispatched but not yet delivered; drain()
+        #: awaits these too, so no in-flight batch is abandoned.
+        self._inflight: set = set()
+        self._closed = False
         #: Telemetry: flushes executed and queries that shared a flush.
         self.flushes = 0
         self.queries_batched = 0
+
+    @property
+    def closed(self) -> bool:
+        """True once :meth:`drain` has started; ``submit`` raises from then on."""
+        return self._closed
 
     # ------------------------------------------------------------------
     async def submit(
@@ -71,7 +88,16 @@ class MicroBatcher:
 
         *request_id* tags the queries in the flush's trace span, so a
         coalesced flush still names every request it served.
+
+        Raises :class:`BatcherClosed` once :meth:`drain` has started --
+        enqueueing into a draining batcher would silently strand the query.
+        The check and the enqueue below run without an intervening ``await``,
+        so a submission either lands before the drain flush (and is
+        answered) or observes the closed flag (and is rejected); there is no
+        third interleaving.
         """
+        if self._closed:
+            raise BatcherClosed("the micro-batcher is draining; no new queries accepted")
         if not queries:
             return []
         loop = asyncio.get_running_loop()
@@ -104,8 +130,10 @@ class MicroBatcher:
         request_ids = [request_id for _, _, request_id in batch]
         loop = asyncio.get_running_loop()
         pool_future = loop.run_in_executor(self._executor, self._run_batch, texts, request_ids)
+        self._inflight.add(pool_future)
 
         def deliver(done: "asyncio.Future") -> None:
+            self._inflight.discard(done)
             error = done.exception()
             if error is not None:
                 for future in futures:
@@ -135,10 +163,21 @@ class MicroBatcher:
             return self._service.run_many(texts)
 
     async def drain(self) -> None:
-        """Flush anything pending and wait for it (used on shutdown)."""
+        """Flush anything pending, wait for every in-flight batch, and
+        reject all further submissions (used on shutdown).
+
+        After drain returns, every query that made it into the batcher has
+        been answered (or failed with its batch's error) and any later
+        ``submit`` raises :class:`BatcherClosed` -- queries racing a
+        shutdown are either served or rejected, never dropped.
+        """
+        self._closed = True
         self._cancel_timer()
-        if not self._pending:
-            return
-        futures = [future for _, future, _ in self._pending]
-        self._flush()
-        await asyncio.gather(*futures, return_exceptions=True)
+        if self._pending:
+            futures = [future for _, future, _ in self._pending]
+            self._flush()
+            await asyncio.gather(*futures, return_exceptions=True)
+        # Flushes already on the pool (dispatched before drain) must land
+        # before the executor shuts down underneath them.
+        while self._inflight:
+            await asyncio.gather(*list(self._inflight), return_exceptions=True)

@@ -1,4 +1,4 @@
-"""Closed-loop load generation against a running query server.
+"""Closed- and open-loop load generation against a running query server.
 
 ``run_load`` drives ``concurrency`` worker threads, each owning one
 keep-alive :class:`http.client.HTTPConnection` and issuing ``POST /query``
@@ -8,6 +8,17 @@ server sustains instead of queueing unboundedly).  Workers walk a shared
 query mix round-robin from staggered offsets, so at any instant the server
 sees a blend of repeated (cache-friendly) and fresh queries -- the shape
 the WH + FB workloads of the paper's experiments produce.
+
+``run_open_loop`` is the honest overload instrument: requests are issued
+at a *fixed* arrival rate (Poisson or uniform arrivals) regardless of how
+fast responses come back, the way independent users hit a service.  A
+closed loop slows down when the server does, which **hides latency under
+overload** (coordinated omission); the open loop keeps offering load, so
+queueing delay shows up in the percentiles and the server's load-shedding
+(503 + ``Retry-After``) is measured rather than masked.  Virtual clients
+are unbounded: each arrival grabs an idle keep-alive connection or opens a
+new one, and per-request latency is measured from the *scheduled* arrival
+instant, so dispatch lag counts against the server, not for it.
 
 Latencies are recorded per request as raw samples; the report computes
 exact percentiles from the sorted series (unlike the server's ``/metrics``
@@ -27,6 +38,8 @@ from __future__ import annotations
 
 import http.client
 import json
+import queue
+import random
 import threading
 import time
 from dataclasses import dataclass, field
@@ -241,5 +254,301 @@ def run_load(
         requests=len(latencies),
         errors=errors,
         mismatches=mismatches,
+        latencies=latencies,
+    )
+
+
+# ----------------------------------------------------------------------
+# Query-mix profiles
+# ----------------------------------------------------------------------
+#: Named blends of the WH (wh-question patterns, cache-friendly repeats)
+#: and FB (frequency-based, heavier joins) query sets: fraction of each
+#: slot drawn from the FB set.
+PROFILES: Dict[str, float] = {"wh": 0.0, "balanced": 0.5, "fb_heavy": 0.8}
+
+
+def profile_mix(
+    wh_queries: Sequence[str],
+    fb_queries: Sequence[str],
+    profile: str = "balanced",
+    length: int = 256,
+    seed: int = 0,
+) -> List[str]:
+    """A deterministic shuffled query mix blending WH and FB queries.
+
+    *profile* names a blend from :data:`PROFILES` (``wh`` / ``balanced`` /
+    ``fb_heavy``).  Sampling is with replacement from each set, seeded, so
+    the same (queries, profile, seed) always produces the same mix -- load
+    runs stay reproducible.  With an empty FB set the mix degrades to WH
+    only (and vice versa) rather than failing.
+    """
+    if profile not in PROFILES:
+        raise ValueError(f"unknown profile {profile!r} (choose from {sorted(PROFILES)})")
+    if not wh_queries and not fb_queries:
+        raise ValueError("both query sets are empty")
+    if length < 1:
+        raise ValueError(f"mix length must be >= 1, got {length}")
+    fb_fraction = PROFILES[profile]
+    rng = random.Random(seed)
+    mix: List[str] = []
+    for _ in range(length):
+        use_fb = fb_queries and (not wh_queries or rng.random() < fb_fraction)
+        source = fb_queries if use_fb else wh_queries
+        mix.append(source[rng.randrange(len(source))])
+    return mix
+
+
+# ----------------------------------------------------------------------
+# Open-loop (fixed-rate) load generation
+# ----------------------------------------------------------------------
+@dataclass
+class OpenLoopReport:
+    """What one open-loop run measured.
+
+    ``offered`` counts scheduled arrivals that were dispatched; responses
+    split into ``accepted`` (200, verified against ground truth),
+    ``shed`` (503 load-shedding -- the server protecting itself, *not* an
+    error) and ``errors`` (every other status plus transport failures).
+    ``latencies`` holds accepted-response latencies measured from the
+    scheduled arrival instant (queueing delay included), sorted ascending.
+    """
+
+    rate: float
+    arrivals: str
+    duration_seconds: float
+    offered: int
+    accepted: int
+    shed: int
+    errors: int
+    mismatches: int
+    #: Arrivals never dispatched because ``max_clients`` was exhausted -- a
+    #: load-generator limit, reported separately so it is never mistaken
+    #: for a server-side failure.
+    overflowed: int
+    #: Peak number of concurrently live virtual clients.
+    clients_peak: int
+    latencies: List[float] = field(default_factory=list)
+
+    @property
+    def completed(self) -> int:
+        """Requests that received a non-error HTTP response (accepted + shed)."""
+        return self.accepted + self.shed
+
+    def percentile(self, q: float) -> Optional[float]:
+        """Exact q-th accepted-latency percentile in seconds (None if none)."""
+        return percentile_of_sorted(self.latencies, q)
+
+    def percentiles_ms(self) -> Dict[str, Optional[float]]:
+        """``{"p50": ..., "p95": ..., "p99": ...}`` in milliseconds."""
+        out: Dict[str, Optional[float]] = {}
+        for q in REPORTED_QUANTILES:
+            value = self.percentile(q)
+            out[f"p{int(q * 100)}"] = None if value is None else value * 1000.0
+        return out
+
+    def as_dict(self) -> Dict[str, object]:
+        """The JSON-friendly summary (raw samples reduced to percentiles)."""
+        return {
+            "rate": self.rate,
+            "arrivals": self.arrivals,
+            "duration_seconds": self.duration_seconds,
+            "offered": self.offered,
+            "accepted": self.accepted,
+            "shed": self.shed,
+            "errors": self.errors,
+            "mismatches": self.mismatches,
+            "overflowed": self.overflowed,
+            "clients_peak": self.clients_peak,
+            "latency_ms": self.percentiles_ms(),
+        }
+
+
+class _OpenClient(threading.Thread):
+    """One virtual client: a keep-alive connection fed scheduled requests.
+
+    The dispatcher hands it ``(query text, scheduled start)`` pairs through
+    an inbox queue; after each response the client parks itself back on the
+    idle stack.  ``None`` in the inbox ends the thread.
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        idle: List["_OpenClient"],
+        idle_lock: threading.Lock,
+        expected: Optional[Dict[str, Dict[str, object]]],
+        timeout: float,
+        name: str,
+    ):
+        super().__init__(name=name, daemon=True)
+        self._host = host
+        self._port = port
+        self._idle = idle
+        self._idle_lock = idle_lock
+        self._expected = expected
+        self._timeout = timeout
+        self.inbox: "queue.Queue" = queue.Queue()
+        self._connection: Optional[http.client.HTTPConnection] = None
+        self.latencies: List[float] = []
+        self.accepted = 0
+        self.shed = 0
+        self.errors = 0
+        self.mismatches = 0
+
+    def run(self) -> None:  # pragma: no cover - exercised via run_open_loop
+        while True:
+            item = self.inbox.get()
+            if item is None:
+                break
+            text, scheduled = item
+            self._one_request(text, scheduled)
+            with self._idle_lock:
+                self._idle.append(self)
+        if self._connection is not None:
+            self._connection.close()
+
+    def _one_request(self, text: str, scheduled: float) -> None:
+        if self._connection is None:
+            self._connection = http.client.HTTPConnection(
+                self._host, self._port, timeout=self._timeout
+            )
+        body = json.dumps({"query": text})
+        try:
+            self._connection.request(
+                "POST", "/query", body=body, headers={"Content-Type": "application/json"}
+            )
+            response = self._connection.getresponse()
+            payload = response.read()
+            status = response.status
+            if response.will_close:
+                self._connection.close()
+                self._connection = None
+        except (OSError, http.client.HTTPException):
+            self.errors += 1
+            if self._connection is not None:
+                self._connection.close()
+            self._connection = None  # reconnect on the next request
+            return
+        finished = time.perf_counter()
+        if status == 503:
+            self.shed += 1  # the server protecting its queue; not an error
+            return
+        if status != 200:
+            self.errors += 1
+            return
+        self.accepted += 1
+        # Open-loop latency runs from the *scheduled* arrival: time the
+        # request spent waiting to be dispatched counts too (that is the
+        # latency a real user at that arrival instant would have seen).
+        self.latencies.append(finished - scheduled)
+        if self._expected is not None:
+            try:
+                result = json.loads(payload)["result"]
+            except (json.JSONDecodeError, KeyError, UnicodeDecodeError):
+                self.mismatches += 1
+                return
+            reference = self._expected.get(text)
+            if reference is None or answer_of(result) != answer_of(reference):
+                self.mismatches += 1
+
+
+def run_open_loop(
+    url: str,
+    queries: Sequence[str],
+    rate: float,
+    duration: float,
+    arrivals: str = "poisson",
+    seed: int = 0,
+    expected: Optional[Dict[str, Dict[str, object]]] = None,
+    timeout: float = 30.0,
+    max_clients: int = 192,
+) -> OpenLoopReport:
+    """Offer *rate* requests/second for *duration* seconds, come what may.
+
+    Arrival instants are pre-generated from a seeded RNG -- ``poisson``
+    (exponential gaps, bursty like independent users) or ``uniform``
+    (evenly spaced) -- and each arrival is dispatched to an idle virtual
+    client, or a fresh one if all are busy (up to *max_clients*; beyond
+    that the arrival is counted in ``overflowed`` rather than silently
+    skipped, so generator saturation is never hidden -- and never blamed
+    on the server).  The default cap sits below ``QueryServer``'s default
+    ``max_connections`` (256) on purpose: a fleet larger than the server's
+    connection budget is shed at accept with ``Connection: close``, and
+    the reconnect churn can overflow the listen backlog into client-side
+    resets that would read as server errors.  Unlike the closed loop, a slow or
+    overloaded server does **not** slow the offered load down: queueing
+    and shedding become visible instead of being absorbed by the client.
+    """
+    if rate <= 0:
+        raise ValueError(f"rate must be positive, got {rate}")
+    if duration <= 0:
+        raise ValueError(f"duration must be > 0, got {duration}")
+    if arrivals not in ("poisson", "uniform"):
+        raise ValueError(f"arrivals must be 'poisson' or 'uniform', got {arrivals!r}")
+    if not queries:
+        raise ValueError("the query mix is empty")
+    if max_clients < 1:
+        raise ValueError(f"max_clients must be >= 1, got {max_clients}")
+    host, port = parse_base_url(url)
+
+    # Pre-generate the arrival schedule so RNG work never skews pacing.
+    rng = random.Random(seed)
+    offsets: List[float] = []
+    instant = 0.0
+    gap = 1.0 / rate
+    while instant < duration:
+        offsets.append(instant)
+        instant += rng.expovariate(rate) if arrivals == "poisson" else gap
+
+    idle: List[_OpenClient] = []
+    idle_lock = threading.Lock()
+    clients: List[_OpenClient] = []
+    overflowed = 0
+    started = time.perf_counter()
+    for position, offset in enumerate(offsets):
+        scheduled = started + offset
+        delay = scheduled - time.perf_counter()
+        if delay > 0:
+            time.sleep(delay)
+        with idle_lock:
+            client = idle.pop() if idle else None
+        if client is None:
+            if len(clients) >= max_clients:
+                overflowed += 1
+                continue
+            client = _OpenClient(
+                host, port, idle, idle_lock, expected, timeout,
+                name=f"openloop-{len(clients)}",
+            )
+            client.start()
+            clients.append(client)
+        client.inbox.put((queries[position % len(queries)], scheduled))
+    for client in clients:
+        client.inbox.put(None)  # finish in-flight work, then exit
+    for client in clients:
+        client.join()
+    elapsed = time.perf_counter() - started
+
+    latencies: List[float] = []
+    accepted = shed = errors = mismatches = 0
+    for client in clients:
+        latencies.extend(client.latencies)
+        accepted += client.accepted
+        shed += client.shed
+        errors += client.errors
+        mismatches += client.mismatches
+    latencies.sort()
+    return OpenLoopReport(
+        rate=rate,
+        arrivals=arrivals,
+        duration_seconds=elapsed,
+        offered=len(offsets),
+        accepted=accepted,
+        shed=shed,
+        errors=errors,
+        mismatches=mismatches,
+        overflowed=overflowed,
+        clients_peak=len(clients),
         latencies=latencies,
     )

@@ -15,17 +15,50 @@ five JSON/text endpoints:
     the merged service-stats shape (identical keys for plain / sharded /
     live services) plus server-side counters;
 ``GET /healthz``
-    liveness: flavor, index path, uptime;
+    liveness: flavor, index path, uptime -- 503 with ``"draining"`` once a
+    graceful drain has started;
 ``GET /metrics``
     Prometheus text: per-endpoint request/error counters and latency
     histograms (log-spaced buckets + derived p50/p95/p99), cache hit
-    rates, service and batcher counters.
+    rates, service and batcher counters, shed/timeout/drain telemetry.
 
 Query execution is synchronous, CPU-bound work, so handlers push it onto a
 thread pool (the services are thread-safe by design) and the event loop
 stays free to accept and batch further requests.  The server owns nothing:
 pass an open service, close it yourself -- or use :func:`open_server` /
 ``repro serve`` which open and close the service around the server.
+
+Hostile-traffic hardening
+-------------------------
+The server assumes every client may be slow, dead or malicious:
+
+* the whole request head (request line + headers) must arrive within
+  ``header_timeout`` seconds or the connection is answered 408 and closed
+  (a client that connects and sends nothing is reaped on the same clock;
+  an *idle keep-alive* connection -- one that already completed a request
+  -- is closed silently instead, like any production server);
+* the body must arrive within its own ``header_timeout`` budget (408);
+* handler work is bounded by ``request_timeout`` (504; the executor
+  thread finishes in the background -- threads cannot be killed);
+* response writes are bounded by ``write_timeout``: a client that stops
+  reading has its connection aborted once ``writer.drain()`` stalls;
+* at most ``max_connections`` connections are served; excess connections
+  receive an immediate 503 with ``Retry-After`` and are closed;
+* at most ``max_queue`` queries may be queued or running on the executor;
+  further queries are load-shed with 503 + ``Retry-After`` instead of
+  queuing unboundedly (bounded queue => bounded latency for everyone
+  accepted);
+* oversized or malformed request heads (bad request line, header bytes
+  over ``max_header_bytes``, a body over ``max_body_bytes``, chunked
+  transfer encoding) get a clean 4xx JSON error, never a traceback;
+* :meth:`QueryServer.drain` is the graceful shutdown: stop accepting,
+  let in-flight requests finish (time-boxed by ``drain_timeout``), flush
+  the micro-batcher, shut the pool down.  ``repro serve`` wires it to
+  SIGTERM/SIGINT and exits 0.
+
+Every shed, timeout and drain is counted and exposed in ``/metrics``
+(``repro_http_sheds_total``, ``repro_http_timeouts_total``,
+``repro_server_draining``, ...) and in the ``server`` block of ``/stats``.
 """
 
 from __future__ import annotations
@@ -44,7 +77,7 @@ from urllib.parse import parse_qs
 from repro import obs
 from repro.exec.executor import QueryResult
 from repro.obs.sinks import JsonlSink
-from repro.serve.batch import MicroBatcher
+from repro.serve.batch import BatcherClosed, MicroBatcher
 from repro.serve.metrics import LatencyHistogram, prometheus_line, render_families, render_histogram
 from repro.service.live import LiveQueryService
 from repro.service.service import QueryService
@@ -52,6 +85,12 @@ from repro.service.sharded import ShardedQueryService
 
 #: Routes the server knows, in display order.
 ENDPOINTS = ("/query", "/query/batch", "/stats", "/healthz", "/metrics", "/debug/trace")
+
+#: Reasons a request can be load-shed with a 503 (label values in /metrics).
+SHED_REASONS = ("connections", "queue", "draining")
+
+#: Kinds of timeout the server enforces (label values in /metrics).
+TIMEOUT_KINDS = ("header", "body", "handler", "write")
 
 _LOG = logging.getLogger("repro.serve")
 
@@ -63,7 +102,12 @@ _STATUS_REASONS = {
     400: "Bad Request",
     404: "Not Found",
     405: "Method Not Allowed",
+    408: "Request Timeout",
+    413: "Payload Too Large",
+    431: "Request Header Fields Too Large",
     500: "Internal Server Error",
+    503: "Service Unavailable",
+    504: "Gateway Timeout",
 }
 
 
@@ -104,6 +148,24 @@ class BadRequest(ValueError):
     """A client error the handler converts into a 400 JSON response."""
 
 
+class ProtocolError(Exception):
+    """A malformed or abusive request head, answered with a 4xx and a close.
+
+    Raised by the request reader before any handler runs; the connection
+    loop sends the JSON error and drops the connection (a peer that cannot
+    frame a request cannot be trusted to frame the next one either).
+    """
+
+    def __init__(self, status: int, message: str):
+        super().__init__(message)
+        self.status = status
+        self.message = message
+
+
+class _IdleTimeout(Exception):
+    """An idle keep-alive connection hit the header timeout: close silently."""
+
+
 class EndpointMetrics:
     """Request/error counters and a latency histogram for one endpoint."""
 
@@ -120,17 +182,37 @@ class EndpointMetrics:
 
 
 class ServerMetrics:
-    """Per-endpoint metrics plus the Prometheus renderer."""
+    """Per-endpoint metrics, hardening counters and the Prometheus renderer."""
 
     def __init__(self) -> None:
         self.endpoints: Dict[str, EndpointMetrics] = {path: EndpointMetrics() for path in ENDPOINTS}
         self._unmatched = EndpointMetrics()  # 404s / bad routes, aggregated
+        #: 503 load sheds by reason (connection cap / queue bound / draining).
+        self.sheds: Dict[str, int] = {reason: 0 for reason in SHED_REASONS}
+        #: Enforced timeouts by kind (header / body / handler / write).
+        self.timeouts: Dict[str, int] = {kind: 0 for kind in TIMEOUT_KINDS}
+        #: Malformed request heads answered with a 4xx and a close.
+        self.protocol_errors = 0
+        #: Idle keep-alive connections reaped by the header timeout.
+        self.idle_closed = 0
+        #: High-water mark of concurrently open connections.
+        self.connections_peak = 0
 
     def for_endpoint(self, path: str) -> EndpointMetrics:
         return self.endpoints.get(path, self._unmatched)
 
+    def connection_opened(self, open_now: int) -> None:
+        if open_now > self.connections_peak:
+            self.connections_peak = open_now
+
     # ------------------------------------------------------------------
-    def render(self, service: QueryService, batcher: Optional[MicroBatcher]) -> str:
+    def render(
+        self,
+        service: QueryService,
+        batcher: Optional[MicroBatcher],
+        draining: bool = False,
+        connections_open: int = 0,
+    ) -> str:
         """The full exposition body: server, batcher and service families."""
         stats = service.stats().as_dict()  # one shape for every flavor
         request_lines: List[str] = []
@@ -148,12 +230,13 @@ class ServerMetrics:
             )
 
         caches = stats["caches"]  # type: ignore[index]
-        cache_lines: List[str] = []
+        lookup_lines: List[str] = []
+        hit_lines: List[str] = []
         hit_rate_lines: List[str] = []
         for name, counters in caches.items():  # type: ignore[union-attr]
             labels = {"cache": name}
-            cache_lines.append(prometheus_line("repro_cache_lookups_total", counters["lookups"], labels))
-            cache_lines.append(prometheus_line("repro_cache_hits_total", counters["hits"], labels))
+            lookup_lines.append(prometheus_line("repro_cache_lookups_total", counters["lookups"], labels))
+            hit_lines.append(prometheus_line("repro_cache_hits_total", counters["hits"], labels))
             hit_rate_lines.append(prometheus_line("repro_cache_hit_rate", counters["hit_rate"], labels))
 
         probes = stats["probes"]  # type: ignore[index]
@@ -172,6 +255,47 @@ class ServerMetrics:
                 "server-side p50/p95/p99 estimates).", latency_lines,
             ),
             (
+                "repro_http_sheds_total", "counter",
+                "Requests load-shed with a 503, by reason.",
+                [
+                    prometheus_line("repro_http_sheds_total", count, {"reason": reason})
+                    for reason, count in self.sheds.items()
+                ],
+            ),
+            (
+                "repro_http_timeouts_total", "counter",
+                "Timeouts enforced against slow clients or slow handlers, by kind.",
+                [
+                    prometheus_line("repro_http_timeouts_total", count, {"kind": kind})
+                    for kind, count in self.timeouts.items()
+                ],
+            ),
+            (
+                "repro_http_protocol_errors_total", "counter",
+                "Malformed request heads answered with a 4xx and a closed connection.",
+                [prometheus_line("repro_http_protocol_errors_total", self.protocol_errors)],
+            ),
+            (
+                "repro_http_idle_closed_total", "counter",
+                "Idle keep-alive connections reaped by the header timeout.",
+                [prometheus_line("repro_http_idle_closed_total", self.idle_closed)],
+            ),
+            (
+                "repro_http_connections_open", "gauge",
+                "Connections currently open.",
+                [prometheus_line("repro_http_connections_open", connections_open)],
+            ),
+            (
+                "repro_http_connections_peak", "gauge",
+                "High-water mark of concurrently open connections.",
+                [prometheus_line("repro_http_connections_peak", self.connections_peak)],
+            ),
+            (
+                "repro_server_draining", "gauge",
+                "1 while a graceful drain is in progress, 0 otherwise.",
+                [prometheus_line("repro_server_draining", 1 if draining else 0)],
+            ),
+            (
                 "repro_queries_total", "counter",
                 "Queries evaluated by the service (batch members included).",
                 [prometheus_line("repro_queries_total", stats["queries"])],  # type: ignore[arg-type]
@@ -183,7 +307,11 @@ class ServerMetrics:
             ),
             (
                 "repro_cache_lookups_total", "counter",
-                "Cache lookups and hits, by cache layer.", cache_lines,
+                "Cache lookups, by cache layer.", lookup_lines,
+            ),
+            (
+                "repro_cache_hits_total", "counter",
+                "Cache hits, by cache layer.", hit_lines,
             ),
             (
                 "repro_cache_hit_rate", "gauge",
@@ -191,21 +319,25 @@ class ServerMetrics:
             ),
             (
                 "repro_index_probes_total", "counter",
-                "Index lookups and actual B+Tree descents.",
-                [
-                    prometheus_line("repro_index_probes_total", probes["gets"]),  # type: ignore[index]
-                    prometheus_line("repro_index_tree_descents_total", probes["tree_descents"]),  # type: ignore[index]
-                ],
+                "Index lookups (served from the postings cache or the tree).",
+                [prometheus_line("repro_index_probes_total", probes["gets"])],  # type: ignore[index]
+            ),
+            (
+                "repro_index_tree_descents_total", "counter",
+                "Index lookups that went to an actual B+Tree descent.",
+                [prometheus_line("repro_index_tree_descents_total", probes["tree_descents"])],  # type: ignore[index]
             ),
         ]
         if batcher is not None:
             families.append((
                 "repro_batcher_flushes_total", "counter",
-                "Micro-batch flushes executed and queries they carried.",
-                [
-                    prometheus_line("repro_batcher_flushes_total", batcher.flushes),
-                    prometheus_line("repro_batcher_queries_total", batcher.queries_batched),
-                ],
+                "Micro-batch flushes executed.",
+                [prometheus_line("repro_batcher_flushes_total", batcher.flushes)],
+            ))
+            families.append((
+                "repro_batcher_queries_total", "counter",
+                "Queries carried by micro-batch flushes.",
+                [prometheus_line("repro_batcher_queries_total", batcher.queries_batched)],
             ))
         return render_families(families)
 
@@ -226,11 +358,36 @@ class QueryServer:
         trace_log: Optional[str] = None,
         slow_ms: Optional[float] = None,
         trace_buffer: int = 256,
+        header_timeout: float = 10.0,
+        request_timeout: float = 30.0,
+        write_timeout: float = 15.0,
+        max_connections: int = 256,
+        max_queue: int = 128,
+        drain_timeout: float = 10.0,
+        max_header_bytes: int = 32 * 1024,
+        max_body_bytes: int = 8 * 1024 * 1024,
+        write_buffer: int = 64 * 1024,
     ):
         if not 0 <= port <= 65535:
             raise ValueError(f"port must be in 0..65535, got {port}")
         if max_workers < 1:
             raise ValueError(f"max workers must be >= 1, got {max_workers}")
+        for name, value in (
+            ("header_timeout", header_timeout),
+            ("request_timeout", request_timeout),
+            ("write_timeout", write_timeout),
+            ("drain_timeout", drain_timeout),
+        ):
+            if value <= 0:
+                raise ValueError(f"{name} must be positive, got {value}")
+        for name, value in (
+            ("max_connections", max_connections),
+            ("max_queue", max_queue),
+            ("max_header_bytes", max_header_bytes),
+            ("max_body_bytes", max_body_bytes),
+        ):
+            if value < 1:
+                raise ValueError(f"{name} must be >= 1, got {value}")
         self.service = service
         self.host = host
         self.port = port  # 0 = ephemeral; replaced by the bound port on start()
@@ -238,6 +395,15 @@ class QueryServer:
         self.max_batch = max_batch
         self.max_workers = max_workers
         self.index_path = index_path
+        self.header_timeout = header_timeout
+        self.request_timeout = request_timeout
+        self.write_timeout = write_timeout
+        self.max_connections = max_connections
+        self.max_queue = max_queue
+        self.drain_timeout = drain_timeout
+        self.max_header_bytes = max_header_bytes
+        self.max_body_bytes = max_body_bytes
+        self.write_buffer = write_buffer
         # Any tracing knob turns tracing on for the server's lifetime.
         self.trace = bool(trace or trace_log or slow_ms is not None)
         self.trace_log = trace_log
@@ -249,6 +415,11 @@ class QueryServer:
         self._executor: Optional[ThreadPoolExecutor] = None
         self._batcher: Optional[MicroBatcher] = None
         self._connections: set = set()
+        #: Connection tasks currently between "request read" and "response
+        #: written"; drain() lets these finish, idle connections it cancels.
+        self._busy: set = set()
+        self._inflight_queries = 0
+        self._draining = False
         self._started_at = 0.0
         self._trace_sink: Optional[JsonlSink] = None
         self._owns_tracer = False
@@ -258,6 +429,11 @@ class QueryServer:
     def url(self) -> str:
         """The served base URL (valid after :meth:`start`)."""
         return f"http://{self.host}:{self.port}"
+
+    @property
+    def draining(self) -> bool:
+        """True once a graceful drain has started."""
+        return self._draining
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -287,18 +463,84 @@ class QueryServer:
         return self
 
     async def stop(self) -> None:
-        """Stop accepting, drain pending batches, shut the pool down."""
-        if self._server is None:
-            return
-        self._server.close()
-        await self._server.wait_closed()
-        self._server = None
+        """Abrupt shutdown: stop accepting, cancel every connection, drain
+        pending batches, shut the pool down.  Safe after :meth:`drain`."""
+        if self._server is None and self._executor is None:
+            return  # already stopped (or fully drained)
+        self._draining = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        # A connection accepted in the close window has a handler task that
+        # may not have run its first step (and registered itself) yet; one
+        # tick lets every such task join the set before the snapshot below,
+        # and the loop re-checks in case one still slips through.
+        await asyncio.sleep(0)
         # Idle keep-alive connections sit in readline() forever; cancel them
         # so no task outlives the loop.
-        for task in list(self._connections):
+        while self._connections:
+            for task in list(self._connections):
+                task.cancel()
+            await asyncio.gather(*list(self._connections), return_exceptions=True)
+        await self._shutdown_workers()
+
+    async def drain(self) -> Dict[str, object]:
+        """Graceful shutdown: stop accepting, finish in-flight, then stop.
+
+        The sequence (surfaced in ``/healthz`` as ``draining`` from the
+        first step on):
+
+        1. close the listening socket -- new connections are refused;
+        2. cancel *idle* connections (blocked waiting for a request line);
+        3. wait up to ``drain_timeout`` seconds for busy connections to
+           finish writing their current response (which carries
+           ``Connection: close``), then cancel any stragglers;
+        4. flush the micro-batcher, shut the executor down.
+
+        Returns a summary dict (``drain_seconds``, ``forced_connections``).
+        Idempotent: a second call returns immediately.
+        """
+        if self._server is None and self._executor is None:
+            return {"drain_seconds": 0.0, "forced_connections": 0, "completed": True}
+        started = time.perf_counter()
+        self._draining = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        # Handlers accepted in the close window register themselves on their
+        # first step; give them that step so the snapshots below see them.
+        await asyncio.sleep(0)
+        # Idle connections have nothing in flight: reap them now so the
+        # drain clock is spent on connections doing real work.
+        for task in list(self._connections - self._busy):
             task.cancel()
-        if self._connections:
-            await asyncio.gather(*self._connections, return_exceptions=True)
+        forced = 0
+        pending_connections = list(self._connections)
+        if pending_connections:
+            done, pending = await asyncio.wait(pending_connections, timeout=self.drain_timeout)
+            forced = len(pending)
+            for task in pending:
+                task.cancel()
+            if pending:
+                await asyncio.gather(*pending, return_exceptions=True)
+        # Anything that still slipped past the snapshot (it cannot do real
+        # work: the batcher and executor are about to go away) is cancelled
+        # rather than abandoned to outlive the loop.
+        while self._connections:
+            for task in list(self._connections):
+                task.cancel()
+            await asyncio.gather(*list(self._connections), return_exceptions=True)
+        await self._shutdown_workers()
+        return {
+            "drain_seconds": time.perf_counter() - started,
+            "forced_connections": forced,
+            "completed": True,
+        }
+
+    async def _shutdown_workers(self) -> None:
+        """The shared tail of stop()/drain(): batcher, executor, tracer."""
         if self._batcher is not None:
             await self._batcher.drain()
             self._batcher = None
@@ -333,66 +575,232 @@ class QueryServer:
         task = asyncio.current_task()
         if task is not None:
             self._connections.add(task)
+        self.metrics.connection_opened(len(self._connections))
+        transport = writer.transport
+        if transport is not None:
+            # A small write buffer makes writer.drain() apply backpressure
+            # early, so the write timeout actually observes a stalled client
+            # instead of the transport buffering megabytes silently.
+            transport.set_write_buffer_limits(high=self.write_buffer)
+        first = True
         try:
+            if len(self._connections) > self.max_connections:
+                self.metrics.sheds["connections"] += 1
+                await self._write_response(
+                    writer, 503, _JSON,
+                    json.dumps({
+                        "error": f"connection limit reached (max_connections={self.max_connections})"
+                    }).encode("utf-8"),
+                    keep_alive=False,
+                )
+                return
+            if self._draining:
+                self.metrics.sheds["draining"] += 1
+                await self._write_response(
+                    writer, 503, _JSON,
+                    json.dumps({"error": "server is draining"}).encode("utf-8"),
+                    keep_alive=False,
+                )
+                return
             while True:
-                request = await self._read_request(reader)
+                try:
+                    request = await self._read_request(reader, first)
+                except ProtocolError as error:
+                    self.metrics.protocol_errors += 1
+                    self.metrics.for_endpoint("/_protocol").record(error.status, 0.0)
+                    await self._write_response(
+                        writer, error.status, _JSON,
+                        json.dumps({"error": error.message}).encode("utf-8"),
+                        keep_alive=False,
+                    )
+                    break
+                except _IdleTimeout:
+                    self.metrics.idle_closed += 1
+                    break
                 if request is None:
                     break
+                first = False
                 method, path, keep_alive, body, query_string, client_rid = request
                 # Request ids always flow, traced or not: take the client's
                 # X-Request-ID, mint one otherwise, echo it on the response.
                 request_id = client_rid or obs.new_request_id()
                 started = time.perf_counter()
-                status, content_type, payload = await self._serve_request(
-                    method, path, body, query_string, request_id
-                )
-                self.metrics.for_endpoint(path).record(status, time.perf_counter() - started)
-                writer.write(
-                    self._encode_response(
-                        status, content_type, payload, keep_alive, request_id
+                if task is not None:
+                    self._busy.add(task)
+                try:
+                    status, content_type, payload = await self._serve_request(
+                        method, path, body, query_string, request_id
                     )
-                )
-                await writer.drain()
-                if not keep_alive:
+                    self.metrics.for_endpoint(path).record(status, time.perf_counter() - started)
+                    # A drain that started while this request ran still gets
+                    # its response out, marked Connection: close.
+                    keep_alive = keep_alive and not self._draining
+                    written = await self._write_response(
+                        writer, status, content_type, payload, keep_alive, request_id
+                    )
+                finally:
+                    if task is not None:
+                        self._busy.discard(task)
+                # Re-check _draining: it may have flipped while the write
+                # above was suspended (after keep_alive was computed).  A
+                # handler that loops back into readline here would have been
+                # busy at drain's idle-reap snapshot -- never cancelled, and
+                # "forced" at the deadline despite sitting idle.
+                if not written or not keep_alive or self._draining:
                     break
+        except asyncio.CancelledError:
+            # stop()/drain() reaped this connection (idle, or past the drain
+            # deadline).  Swallow the cancellation and fall through to the
+            # close below: on 3.11 the streams done-callback calls
+            # task.exception() without a cancelled() guard, so a task that
+            # ends *cancelled* dumps a spurious traceback into the loop's
+            # exception handler.
+            pass
         except (ConnectionError, asyncio.IncompleteReadError, asyncio.LimitOverrunError):
             pass  # client went away or sent garbage beyond limits; drop the connection
         finally:
             if task is not None:
-                self._connections.discard(task)
+                self._busy.discard(task)
             writer.close()
             try:
                 await writer.wait_closed()
             except (ConnectionError, OSError):  # pragma: no cover - platform dependent
                 pass
+            except asyncio.CancelledError:
+                # stop()/drain() cancelled us mid-close; the transport is
+                # already closing, so completing normally is both safe and
+                # what keeps the task gatherable.
+                pass
+            # Deregister only once the close is complete: a handler that
+            # leaves the set while still awaiting wait_closed is invisible
+            # to stop()'s gather and gets destroyed pending when the loop
+            # shuts down (seen as "Task was destroyed but it is pending"
+            # under mass client disconnects racing server stop).
+            if task is not None:
+                self._connections.discard(task)
+
+    async def _write_response(
+        self,
+        writer: asyncio.StreamWriter,
+        status: int,
+        content_type: str,
+        payload: bytes,
+        keep_alive: bool,
+        request_id: Optional[str] = None,
+    ) -> bool:
+        """Write one response under the write timeout.
+
+        Returns False (after aborting the connection) when the client
+        stopped reading for longer than ``write_timeout`` -- a never-reading
+        sink must not pin the connection task forever.
+        """
+        writer.write(
+            self._encode_response(status, content_type, payload, keep_alive, request_id)
+        )
+        try:
+            await asyncio.wait_for(writer.drain(), self.write_timeout)
+        except asyncio.TimeoutError:
+            self.metrics.timeouts["write"] += 1
+            transport = writer.transport
+            if transport is not None:
+                transport.abort()
+            return False
+        return True
 
     async def _read_request(
-        self, reader: asyncio.StreamReader
+        self, reader: asyncio.StreamReader, first: bool
     ) -> Optional[Tuple[str, str, bool, bytes, str, Optional[str]]]:
-        """Parse one request; None on a cleanly closed connection.
+        """Parse one request head + body under the read timeouts and limits.
 
         Returns ``(method, path, keep-alive, body, query string, client
-        X-Request-ID or None)``.
+        X-Request-ID or None)``; ``None`` on a cleanly closed connection.
+        Raises :class:`ProtocolError` for malformed/oversized heads (the
+        caller responds 4xx and closes) and :class:`_IdleTimeout` when an
+        idle keep-alive connection times out between requests.
         """
-        request_line = await reader.readline()
+        loop = asyncio.get_running_loop()
+        deadline = loop.time() + self.header_timeout
+
+        async def read_line(what: str) -> bytes:
+            remaining = deadline - loop.time()
+            if remaining <= 0:
+                raise asyncio.TimeoutError
+            try:
+                return await asyncio.wait_for(reader.readline(), remaining)
+            except ValueError as error:  # line beyond the stream's 64 KiB limit
+                raise ProtocolError(431, f"{what} exceeds the line length limit") from error
+
+        try:
+            request_line = await read_line("request line")
+        except asyncio.TimeoutError:
+            if first:
+                # The satellite guarantee: connect-and-say-nothing is reaped.
+                self.metrics.timeouts["header"] += 1
+                raise ProtocolError(
+                    408,
+                    f"timed out waiting for a request (header timeout "
+                    f"{self.header_timeout:g}s)",
+                ) from None
+            raise _IdleTimeout() from None
         if not request_line or not request_line.strip():
             return None
         parts = request_line.decode("latin-1").split()
         if len(parts) != 3:
-            return ("GET", "/_malformed", False, b"", "", None)
+            raise ProtocolError(400, "malformed request line")
         method, target, version = parts
         headers: Dict[str, str] = {}
+        header_bytes = 0
         while True:
-            line = await reader.readline()
-            if line in (b"\r\n", b"\n", b""):
+            try:
+                line = await read_line("header line")
+            except asyncio.TimeoutError:
+                # Slow-loris: the head dribbles in slower than the budget.
+                self.metrics.timeouts["header"] += 1
+                raise ProtocolError(
+                    408,
+                    f"timed out reading request headers (header timeout "
+                    f"{self.header_timeout:g}s)",
+                ) from None
+            if line in (b"\r\n", b"\n"):
                 break
+            if not line:  # EOF mid-headers: client went away
+                return None
+            header_bytes += len(line)
+            if header_bytes > self.max_header_bytes or len(headers) >= 256:
+                raise ProtocolError(
+                    431,
+                    f"request headers exceed the limit ({self.max_header_bytes} bytes)",
+                )
             name, _, value = line.decode("latin-1").partition(":")
             headers[name.strip().lower()] = value.strip()
-        try:
-            length = int(headers.get("content-length", "0"))
-        except ValueError:
-            length = 0
-        body = await reader.readexactly(length) if length > 0 else b""
+        if "transfer-encoding" in headers:
+            raise ProtocolError(
+                400, "Transfer-Encoding is not supported; send a Content-Length body"
+            )
+        raw_length = headers.get("content-length", "0").strip()
+        if not raw_length.isdigit():  # also rejects signs, spaces and '1_0'
+            raise ProtocolError(400, f"invalid Content-Length {raw_length!r}")
+        length = int(raw_length)
+        if length > self.max_body_bytes:
+            raise ProtocolError(
+                413,
+                f"request body of {length} bytes exceeds the limit "
+                f"({self.max_body_bytes} bytes)",
+            )
+        if length > 0:
+            try:
+                body = await asyncio.wait_for(
+                    reader.readexactly(length), self.header_timeout
+                )
+            except asyncio.TimeoutError:
+                self.metrics.timeouts["body"] += 1
+                raise ProtocolError(
+                    408,
+                    f"timed out reading the request body (timeout "
+                    f"{self.header_timeout:g}s)",
+                ) from None
+        else:
+            body = b""
         path, _, query_string = target.partition("?")
         connection = headers.get("connection", "").lower()
         keep_alive = version != "HTTP/1.0" and connection != "close"
@@ -411,11 +819,15 @@ class QueryServer:
         request_id_header = (
             f"X-Request-ID: {_header_safe(request_id)}\r\n" if request_id else ""
         )
+        # Every load-shedding 503 invites the client back: shedding is about
+        # bounding queues, not turning traffic away for good.
+        retry_header = "Retry-After: 1\r\n" if status == 503 else ""
         head = (
             f"HTTP/1.1 {status} {reason}\r\n"
             f"Content-Type: {content_type}\r\n"
             f"Content-Length: {len(payload)}\r\n"
             f"{request_id_header}"
+            f"{retry_header}"
             f"Connection: {'keep-alive' if keep_alive else 'close'}\r\n"
             "\r\n"
         )
@@ -429,17 +841,37 @@ class QueryServer:
     ) -> Tuple[int, str, bytes]:
         """Dispatch one request, under a traced root span when tracing is on."""
         if not obs.enabled():
-            return await self._dispatch(method, path, body, query_string, request_id)
+            return await self._dispatch_timed(method, path, body, query_string, request_id)
         token = obs.set_request_id(request_id)
         try:
             with obs.trace("http_request", method=method, path=path) as span:
-                status, content_type, payload = await self._dispatch(
+                status, content_type, payload = await self._dispatch_timed(
                     method, path, body, query_string, request_id
                 )
                 span.set(status=status)
                 return status, content_type, payload
         finally:
             obs.reset_request_id(token)
+
+    async def _dispatch_timed(
+        self, method: str, path: str, body: bytes, query_string: str, request_id: str
+    ) -> Tuple[int, str, bytes]:
+        """The handler timeout around dispatch: slow work becomes a 504.
+
+        The cancelled executor thread finishes its query in the background
+        (threads cannot be interrupted); the bounded queue keeps such
+        zombies from accumulating without limit.
+        """
+        try:
+            return await asyncio.wait_for(
+                self._dispatch(method, path, body, query_string, request_id),
+                self.request_timeout,
+            )
+        except asyncio.TimeoutError:
+            self.metrics.timeouts["handler"] += 1
+            return self._json_error(
+                504, f"request timed out after {self.request_timeout:g}s of processing"
+            )
 
     async def _dispatch(
         self, method: str, path: str, body: bytes, query_string: str, request_id: str
@@ -472,6 +904,11 @@ class QueryServer:
             return self._json_error(404, f"unknown path {path!r} (endpoints: {', '.join(ENDPOINTS)})")
         except BadRequest as error:
             return self._json_error(400, str(error))
+        except BatcherClosed:
+            self.metrics.sheds["draining"] += 1
+            return self._json_error(503, "server is draining; retry against a live replica")
+        except asyncio.CancelledError:
+            raise  # the handler timeout / drain cancellation, not a bug
         except Exception as error:  # noqa: BLE001 - the server must not die on a handler bug
             # The traceback goes to the structured log only; the response
             # body stays generic so internals never leak to clients.
@@ -504,23 +941,42 @@ class QueryServer:
             raise BadRequest(f"cannot parse query {text!r}: {error}") from error
         return text
 
+    def _shed_if_saturated(self, incoming: int) -> Optional[Tuple[int, str, bytes]]:
+        """The bounded-queue check: a 503 response when *incoming* more
+        queries would push the executor backlog past ``max_queue``."""
+        if self._inflight_queries + incoming > self.max_queue:
+            self.metrics.sheds["queue"] += 1
+            return self._json_error(
+                503,
+                f"server saturated ({self._inflight_queries} queries in flight, "
+                f"max_queue={self.max_queue}); retry later",
+            )
+        return None
+
     async def _handle_query(self, body: bytes) -> Tuple[int, str, bytes]:
         payload = self._parse_json(body)
         if "query" not in payload:
             raise BadRequest("missing 'query' field")
         text = self._prepare_or_400(payload["query"])
+        shed = self._shed_if_saturated(1)
+        if shed is not None:
+            return shed
         loop = asyncio.get_running_loop()
         assert self._executor is not None
-        if obs.enabled():
-            # run_in_executor does not carry context variables into the pool
-            # thread; copy the context so the service's spans nest under this
-            # request's root span and inherit its request id.
-            context = contextvars.copy_context()
-            result = await loop.run_in_executor(
-                self._executor, context.run, self.service.run, text
-            )
-        else:
-            result = await loop.run_in_executor(self._executor, self.service.run, text)
+        self._inflight_queries += 1
+        try:
+            if obs.enabled():
+                # run_in_executor does not carry context variables into the pool
+                # thread; copy the context so the service's spans nest under this
+                # request's root span and inherit its request id.
+                context = contextvars.copy_context()
+                result = await loop.run_in_executor(
+                    self._executor, context.run, self.service.run, text
+                )
+            else:
+                result = await loop.run_in_executor(self._executor, self.service.run, text)
+        finally:
+            self._inflight_queries -= 1
         return self._json_ok({"query": text, "result": result_to_dict(result)})
 
     async def _handle_batch(self, body: bytes, request_id: str) -> Tuple[int, str, bytes]:
@@ -528,8 +984,15 @@ class QueryServer:
         if "queries" not in payload or not isinstance(payload["queries"], list):
             raise BadRequest("missing 'queries' field (a JSON list of query strings)")
         texts = [self._prepare_or_400(text) for text in payload["queries"]]
+        shed = self._shed_if_saturated(len(texts))
+        if shed is not None:
+            return shed
         assert self._batcher is not None
-        results = await self._batcher.submit(texts, request_id=request_id)
+        self._inflight_queries += len(texts)
+        try:
+            results = await self._batcher.submit(texts, request_id=request_id)
+        finally:
+            self._inflight_queries -= len(texts)
         return self._json_ok({
             "count": len(results),
             "results": [
@@ -587,6 +1050,27 @@ class QueryServer:
         stats = self.service.stats().as_dict()
         server_block: Dict[str, object] = {
             "uptime_seconds": time.time() - self._started_at,
+            "draining": self._draining,
+            "connections": {
+                "open": len(self._connections),
+                "peak": self.metrics.connections_peak,
+                "max": self.max_connections,
+            },
+            "sheds": dict(self.metrics.sheds),
+            "timeouts": dict(self.metrics.timeouts),
+            "protocol_errors": self.metrics.protocol_errors,
+            "idle_closed": self.metrics.idle_closed,
+            "inflight_queries": self._inflight_queries,
+            "limits": {
+                "header_timeout": self.header_timeout,
+                "request_timeout": self.request_timeout,
+                "write_timeout": self.write_timeout,
+                "max_connections": self.max_connections,
+                "max_queue": self.max_queue,
+                "drain_timeout": self.drain_timeout,
+                "max_header_bytes": self.max_header_bytes,
+                "max_body_bytes": self.max_body_bytes,
+            },
             "endpoints": {
                 path: {
                     "requests": endpoint.requests,
@@ -616,15 +1100,25 @@ class QueryServer:
         return self._json_ok({"flavor": self.flavor, "service": stats, "server": server_block})
 
     def _handle_healthz(self) -> Tuple[int, str, bytes]:
-        return self._json_ok({
-            "status": "ok",
+        """Liveness -- 503 + ``"draining"`` once a graceful drain started,
+        so load balancers stop routing while in-flight work finishes."""
+        draining = self._draining
+        payload = {
+            "status": "draining" if draining else "ok",
             "flavor": self.flavor,
             "index": self.index_path,
             "uptime_seconds": time.time() - self._started_at,
-        })
+        }
+        status = 503 if draining else 200
+        return status, _JSON, json.dumps(payload).encode("utf-8")
 
     def _handle_metrics(self) -> Tuple[int, str, bytes]:
-        body = self.metrics.render(self.service, self._batcher)
+        body = self.metrics.render(
+            self.service,
+            self._batcher,
+            draining=self._draining,
+            connections_open=len(self._connections),
+        )
         return 200, _PROMETHEUS, body.encode("utf-8")
 
 
@@ -637,7 +1131,8 @@ class ServerThread:
     The constructor arguments are those of :class:`QueryServer`.  ``start``
     blocks until the socket is bound (so ``url`` is valid) and re-raises
     any bind error in the caller's thread; ``stop`` shuts the loop down and
-    joins the thread.  The service is NOT owned: close it after ``stop``.
+    joins the thread; ``drain`` runs the graceful-drain sequence first.
+    The service is NOT owned: close it after ``stop``.
     """
 
     def __init__(self, service: QueryService, **kwargs: object):
@@ -688,6 +1183,20 @@ class ServerThread:
             loop.run_until_complete(self._server.stop())
         finally:
             loop.close()
+
+    def drain(self, timeout: Optional[float] = None) -> Dict[str, object]:
+        """Run the server's graceful drain on its loop; blocks until done.
+
+        The loop keeps running afterwards (so ``stop`` still joins it);
+        returns the drain summary.  *timeout* bounds the wait and should
+        exceed the server's ``drain_timeout``.
+        """
+        loop = self._loop
+        if loop is None or not self._thread or not self._thread.is_alive():
+            return {"drain_seconds": 0.0, "forced_connections": 0, "completed": False}
+        future = asyncio.run_coroutine_threadsafe(self._server.drain(), loop)
+        budget = timeout if timeout is not None else self._server.drain_timeout + 10.0
+        return future.result(budget)
 
     def stop(self) -> None:
         loop = self._loop
